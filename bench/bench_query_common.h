@@ -1,0 +1,67 @@
+// Shared driver for the query-performance figures (12-15): builds every
+// paper variant once per dataset and reports leaf I/Os as a percentage of
+// the optimal T/B, the paper's y-axis.
+
+#ifndef PRTREE_BENCH_BENCH_QUERY_COMMON_H_
+#define PRTREE_BENCH_BENCH_QUERY_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "util/table_printer.h"
+#include "workload/queries.h"
+
+namespace prtree {
+namespace harness {
+
+/// All paper variants built over one dataset, ready for repeated query
+/// batches.
+struct VariantSet {
+  std::vector<Variant> variants;
+  std::vector<BuiltIndex> indexes;
+};
+
+inline VariantSet BuildAllVariants(const std::vector<Record2>& data) {
+  VariantSet set;
+  set.variants = PaperVariants();
+  for (Variant v : set.variants) {
+    set.indexes.push_back(BuildIndex(v, data));
+  }
+  return set;
+}
+
+/// Runs one query batch against every variant and appends a table row:
+/// label | avg T | <variant>%... (percent of optimal T/B).
+inline void AddQueryRow(const VariantSet& set,
+                        const std::vector<Rect2>& queries,
+                        const std::string& label, TablePrinter* table) {
+  std::vector<std::string> row{label};
+  bool first = true;
+  for (size_t i = 0; i < set.indexes.size(); ++i) {
+    QueryMeasurement m = MeasureQueries(set.indexes[i], queries);
+    if (first) {
+      row.push_back(TablePrinter::FmtCount(
+          static_cast<uint64_t>(m.avg_results)));
+      first = false;
+    }
+    row.push_back(TablePrinter::Fmt(m.pct_of_optimal, 1) + "%");
+  }
+  table->AddRow(std::move(row));
+}
+
+inline std::vector<std::string> QueryTableHeaders(const VariantSet& set,
+                                                  const std::string& x_name) {
+  std::vector<std::string> headers{x_name, "avg T"};
+  for (Variant v : set.variants) {
+    headers.push_back(std::string(VariantName(v)) + " %T/B");
+  }
+  return headers;
+}
+
+}  // namespace harness
+}  // namespace prtree
+
+#endif  // PRTREE_BENCH_BENCH_QUERY_COMMON_H_

@@ -1,0 +1,38 @@
+// Figure 12: query performance on the Western TIGER data for square
+// windows of area 0.25%-2% of the data extent.
+//
+// Paper result: all four R-trees are within ~10% of each other and close
+// to the optimal T/B; ordering TGS <= PR <= H <= H4 (TGS ~100-105%,
+// H4 up to ~120%).
+
+#include <cstdio>
+
+#include "bench/bench_query_common.h"
+#include "workload/datasets.h"
+
+using namespace prtree;           // NOLINT
+using namespace prtree::harness;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchFlags(argc, argv, /*default_n=*/400000);
+  size_t n = opts.ScaledN();
+  std::printf("=== Figure 12: query cost vs window size, Western TIGER-like "
+              "(n=%zu, %zu queries/point) ===\n", n, opts.queries);
+  auto data = workload::MakeTigerLike(n, workload::TigerRegion::kWestern,
+                                      opts.seed);
+  VariantSet set = BuildAllVariants(data);
+  Rect2 extent = set.indexes.front().tree->Mbr();
+
+  TablePrinter table(QueryTableHeaders(set, "query area %"));
+  int qseed = 100;
+  for (double pct : {0.25, 0.50, 0.75, 1.00, 1.25, 1.50, 1.75, 2.00}) {
+    auto queries = workload::MakeSquareQueries(extent, pct / 100.0,
+                                               opts.queries,
+                                               opts.seed + qseed++);
+    AddQueryRow(set, queries, TablePrinter::Fmt(pct, 2), &table);
+  }
+  table.Print();
+  std::printf("(paper shape: all variants within ~10%%, ordering "
+              "TGS <= PR <= H <= H4, all near 100%% of T/B)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the library's hot operations:
+// Hilbert keys, rectangle predicates, node scans, pseudo-PR-tree
+// construction, external sort throughput and PR-tree queries.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/hilbert_rtree.h"
+#include "core/prtree.h"
+#include "core/pseudo_prtree.h"
+#include "geom/hilbert.h"
+#include "harness/experiment.h"
+#include "io/buffer_pool.h"
+#include "io/external_sort.h"
+#include "util/random.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace prtree {
+namespace {
+
+void BM_HilbertKey2D(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::pair<uint32_t, uint32_t>> pts(1024);
+  for (auto& p : pts) {
+    p = {static_cast<uint32_t>(rng.UniformInt(0, (1u << 31) - 1)),
+         static_cast<uint32_t>(rng.UniformInt(0, (1u << 31) - 1))};
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = pts[i++ & 1023];
+    benchmark::DoNotOptimize(HilbertIndex2(p.first, p.second, 31));
+  }
+}
+BENCHMARK(BM_HilbertKey2D);
+
+void BM_HilbertKey4D(benchmark::State& state) {
+  auto data = workload::MakeSize(1024, 0.01, 2);
+  Rect2 extent = MakeRect(0, 0, 1, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HilbertCornerKey<2>(data[i++ & 1023].rect, extent));
+  }
+}
+BENCHMARK(BM_HilbertKey4D);
+
+void BM_RectIntersects(benchmark::State& state) {
+  auto data = workload::MakeSize(1024, 0.05, 3);
+  Rect2 q = MakeRect(0.4, 0.4, 0.6, 0.6);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data[i++ & 1023].rect.Intersects(q));
+  }
+}
+BENCHMARK(BM_RectIntersects);
+
+void BM_NodeScan(benchmark::State& state) {
+  std::vector<std::byte> buf(kDefaultBlockSize);
+  NodeView<2> node(buf.data(), buf.size());
+  node.Format(0);
+  auto data = workload::MakeSize(113, 0.05, 4);
+  for (const auto& rec : data) node.Append(rec.rect, rec.id);
+  Rect2 q = MakeRect(0.4, 0.4, 0.6, 0.6);
+  for (auto _ : state) {
+    int hits = 0;
+    for (int i = 0; i < node.count(); ++i) {
+      if (node.GetRect(i).Intersects(q)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 113);
+}
+BENCHMARK(BM_NodeScan);
+
+void BM_PseudoPrTreeBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto data = workload::MakeSize(n, 0.01, 5);
+  for (auto _ : state) {
+    auto copy = data;
+    PseudoPRTreeBuilder<2> builder(113);
+    size_t leaves = 0;
+    builder.EmitLeaves(&copy, [&](const PseudoLeafChunk&) { ++leaves; });
+    benchmark::DoNotOptimize(leaves);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PseudoPrTreeBuild)->Arg(10000)->Arg(100000);
+
+void BM_ExternalSortThroughput(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto data = workload::MakeSize(n, 0.01, 6);
+  for (auto _ : state) {
+    BlockDevice dev(kDefaultBlockSize);
+    WorkEnv env{&dev, 1u << 20};
+    Stream<Record2> sorted =
+        ExternalSortVector(env, data, CoordLess<2>{0});
+    benchmark::DoNotOptimize(sorted.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSortThroughput)->Arg(100000);
+
+void BM_PrTreeWindowQuery(benchmark::State& state) {
+  static BlockDevice dev(kDefaultBlockSize);
+  static RTree<2>* tree = [] {
+    auto data = workload::MakeTigerLike(
+        200000, workload::TigerRegion::kEastern, 7);
+    auto* t = new RTree<2>(&dev);
+    AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 8u << 20}, data, t));
+    return t;
+  }();
+  static BufferPool pool(&dev, 1u << 16);
+  static bool warmed = [] {
+    tree->CacheInternalNodes(&pool);
+    return true;
+  }();
+  (void)warmed;
+  auto queries = workload::MakeSquareQueries(tree->Mbr(), 0.01, 64, 8);
+  size_t i = 0;
+  uint64_t results = 0;
+  for (auto _ : state) {
+    QueryStats qs = tree->Query(queries[i++ & 63],
+                                [](const Record2&) {}, &pool);
+    results += qs.results;
+  }
+  benchmark::DoNotOptimize(results);
+}
+BENCHMARK(BM_PrTreeWindowQuery);
+
+void BM_BulkLoadPrTreeEndToEnd(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto data = workload::MakeSize(n, 0.01, 9);
+  for (auto _ : state) {
+    BlockDevice dev(kDefaultBlockSize);
+    RTree<2> tree(&dev);
+    AbortIfError(BulkLoadPrTree<2>(
+        WorkEnv{&dev, harness::ScaledMemoryBudget(n)}, data, &tree));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BulkLoadPrTreeEndToEnd)->Arg(100000);
+
+}  // namespace
+}  // namespace prtree

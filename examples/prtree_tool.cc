@@ -1,0 +1,279 @@
+// prtree_tool: a small command-line workbench over the public API —
+// generate datasets, bulk-load any index variant, snapshot it, reload it
+// and run queries.  The kind of utility an adopting project uses to poke
+// at its data before writing code.
+//
+//   prtree_tool gen --family=size --n=100000 --out=data.csv
+//   prtree_tool build --data=data.csv --variant=pr --index=map.prt
+//   prtree_tool query --index=map.prt --window=0.1,0.1,0.3,0.3
+//   prtree_tool knn   --index=map.prt --point=0.5,0.5 --k=10
+//   prtree_tool stats --index=map.prt
+//
+// Dataset CSV format: one rectangle per line, "xmin,ymin,xmax,ymax,id".
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/hilbert_rtree.h"
+#include "baselines/str_rtree.h"
+#include "baselines/tgs_rtree.h"
+#include "core/prtree.h"
+#include "rtree/knn.h"
+#include "rtree/persist.h"
+#include "rtree/validate.h"
+#include "workload/datasets.h"
+
+using namespace prtree;  // NOLINT
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: prtree_tool <command> [flags]\n"
+      "  gen    --family=size|aspect|skewed|cluster|tiger --n=N "
+      "[--param=P] [--seed=S] --out=FILE\n"
+      "  build  --data=FILE --variant=pr|h|h4|tgs|str --index=FILE "
+      "[--memory-mb=M]\n"
+      "  query  --index=FILE --window=xmin,ymin,xmax,ymax\n"
+      "  knn    --index=FILE --point=x,y [--k=K]\n"
+      "  stats  --index=FILE\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) Usage();
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) Usage();
+    flags[std::string(arg + 2, eq)] = eq + 1;
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::vector<double> ParseDoubles(const std::string& csv, size_t expect) {
+  std::vector<double> out;
+  const char* p = csv.c_str();
+  char* end = nullptr;
+  while (*p != '\0') {
+    out.push_back(std::strtod(p, &end));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (out.size() != expect) {
+    std::fprintf(stderr, "expected %zu comma-separated numbers in '%s'\n",
+                 expect, csv.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+int CmdGen(const std::map<std::string, std::string>& flags) {
+  std::string family = FlagOr(flags, "family", "size");
+  size_t n = std::strtoull(FlagOr(flags, "n", "100000").c_str(), nullptr, 10);
+  double param = std::strtod(FlagOr(flags, "param", "0").c_str(), nullptr);
+  uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  std::string out_path = FlagOr(flags, "out", "");
+  if (out_path.empty()) Usage();
+
+  std::vector<Record2> data;
+  if (family == "size") {
+    data = workload::MakeSize(n, param > 0 ? param : 0.01, seed);
+  } else if (family == "aspect") {
+    data = workload::MakeAspect(n, param > 0 ? param : 100, seed);
+  } else if (family == "skewed") {
+    data = workload::MakeSkewed(n, param > 0 ? static_cast<int>(param) : 5,
+                                seed);
+  } else if (family == "cluster") {
+    size_t clusters = std::max<size_t>(10, n / 200);
+    data = workload::MakeCluster(clusters, n / clusters, seed);
+  } else if (family == "tiger") {
+    data = workload::MakeTigerLike(n, workload::TigerRegion::kEastern, seed);
+  } else {
+    Usage();
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  for (const auto& rec : data) {
+    std::fprintf(f, "%.17g,%.17g,%.17g,%.17g,%u\n", rec.rect.lo[0],
+                 rec.rect.lo[1], rec.rect.hi[0], rec.rect.hi[1], rec.id);
+  }
+  std::fclose(f);
+  std::printf("wrote %zu rectangles to %s\n", data.size(), out_path.c_str());
+  return 0;
+}
+
+std::vector<Record2> ReadCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<Record2> data;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    double xmin, ymin, xmax, ymax;
+    unsigned id;
+    if (std::sscanf(line, "%lf,%lf,%lf,%lf,%u", &xmin, &ymin, &xmax, &ymax,
+                    &id) == 5) {
+      data.push_back(Record2{MakeRect(xmin, ymin, xmax, ymax), id});
+    }
+  }
+  std::fclose(f);
+  return data;
+}
+
+int CmdBuild(const std::map<std::string, std::string>& flags) {
+  std::string data_path = FlagOr(flags, "data", "");
+  std::string index_path = FlagOr(flags, "index", "");
+  std::string variant = FlagOr(flags, "variant", "pr");
+  size_t memory_mb =
+      std::strtoull(FlagOr(flags, "memory-mb", "64").c_str(), nullptr, 10);
+  if (data_path.empty() || index_path.empty()) Usage();
+
+  auto data = ReadCsv(data_path);
+  std::printf("loaded %zu rectangles from %s\n", data.size(),
+              data_path.c_str());
+  BlockDevice device;
+  RTree<2> tree(&device);
+  WorkEnv env{&device, memory_mb << 20};
+  Status st;
+  if (variant == "pr") {
+    st = BulkLoadPrTree<2>(env, data, &tree);
+  } else if (variant == "h") {
+    st = BulkLoadHilbert(env, data, &tree);
+  } else if (variant == "h4") {
+    st = BulkLoadHilbert4D<2>(env, data, &tree);
+  } else if (variant == "tgs") {
+    st = BulkLoadTgs<2>(env, data, &tree);
+  } else if (variant == "str") {
+    st = BulkLoadStr<2>(env, data, &tree);
+  } else {
+    Usage();
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = SaveTree(tree, index_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  TreeStats ts = tree.ComputeStats();
+  std::printf(
+      "built %s index: %zu records, height %d, %llu nodes, %.1f%% "
+      "utilisation, %llu build I/Os -> %s\n",
+      variant.c_str(), tree.size(), tree.height(),
+      static_cast<unsigned long long>(ts.num_nodes), 100 * ts.utilization,
+      static_cast<unsigned long long>(device.stats().Total()),
+      index_path.c_str());
+  return 0;
+}
+
+RTree<2> LoadIndexOrDie(BlockDevice* device, const std::string& path) {
+  RTree<2> tree(device);
+  Status st = LoadTree(path, &tree);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return tree;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  std::string index_path = FlagOr(flags, "index", "");
+  std::string window = FlagOr(flags, "window", "");
+  if (index_path.empty() || window.empty()) Usage();
+  auto c = ParseDoubles(window, 4);
+
+  BlockDevice device;
+  RTree<2> tree = LoadIndexOrDie(&device, index_path);
+  Rect2 w = MakeRect(c[0], c[1], c[2], c[3]);
+  size_t shown = 0;
+  QueryStats qs = tree.Query(w, [&](const Record2& rec) {
+    if (shown < 20) {
+      std::printf("  id=%u %s\n", rec.id, rec.rect.ToString().c_str());
+    } else if (shown == 20) {
+      std::printf("  ...\n");
+    }
+    ++shown;
+  });
+  std::printf("%llu results, %llu nodes visited (%llu leaves)\n",
+              static_cast<unsigned long long>(qs.results),
+              static_cast<unsigned long long>(qs.nodes_visited),
+              static_cast<unsigned long long>(qs.leaves_visited));
+  return 0;
+}
+
+int CmdKnn(const std::map<std::string, std::string>& flags) {
+  std::string index_path = FlagOr(flags, "index", "");
+  std::string point = FlagOr(flags, "point", "");
+  size_t k = std::strtoull(FlagOr(flags, "k", "10").c_str(), nullptr, 10);
+  if (index_path.empty() || point.empty()) Usage();
+  auto c = ParseDoubles(point, 2);
+
+  BlockDevice device;
+  RTree<2> tree = LoadIndexOrDie(&device, index_path);
+  QueryStats qs;
+  auto neighbors = KnnSearch<2>(tree, {c[0], c[1]}, k, &qs);
+  for (const auto& nb : neighbors) {
+    std::printf("  id=%u dist=%.9g %s\n", nb.record.id, nb.distance,
+                nb.record.rect.ToString().c_str());
+  }
+  std::printf("%zu neighbours, %llu nodes visited\n", neighbors.size(),
+              static_cast<unsigned long long>(qs.nodes_visited));
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  std::string index_path = FlagOr(flags, "index", "");
+  if (index_path.empty()) Usage();
+  BlockDevice device;
+  RTree<2> tree = LoadIndexOrDie(&device, index_path);
+  Status st = ValidateTree(tree);
+  TreeStats ts = tree.ComputeStats();
+  std::printf("records:       %zu\n", tree.size());
+  std::printf("height:        %d\n", tree.height());
+  std::printf("nodes:         %llu (%llu leaves)\n",
+              static_cast<unsigned long long>(ts.num_nodes),
+              static_cast<unsigned long long>(ts.num_leaves));
+  std::printf("fan-out:       %zu\n", tree.capacity());
+  std::printf("utilisation:   %.2f%%\n", 100 * ts.utilization);
+  std::printf("mbr:           %s\n", tree.Mbr().ToString().c_str());
+  std::printf("validation:    %s\n", st.ToString().c_str());
+  for (size_t lvl = 0; lvl < ts.nodes_per_level.size(); ++lvl) {
+    std::printf("  level %zu: %llu nodes\n", lvl,
+                static_cast<unsigned long long>(ts.nodes_per_level[lvl]));
+  }
+  return st.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv);
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "knn") return CmdKnn(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  Usage();
+}

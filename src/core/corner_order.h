@@ -1,0 +1,71 @@
+// Total orderings over the 2D corner coordinates of rectangles.
+//
+// The pseudo-PR-tree (§2.1) views each rectangle as the 2D-dimensional point
+// R* = (xmin, ..., ymax) and needs two families of orderings over a corner
+// coordinate c:
+//
+//  * CoordLess  — plain ascending coordinate order, used for the kd-tree
+//    divisions ("the division is performed using the xmin, ymin, xmax or
+//    ymax-coordinate in a round-robin fashion");
+//  * ExtremeLess — most-extreme-first order, used to pick priority-leaf
+//    contents ("the B rectangles with minimal xmin-coordinates", "maximal
+//    xmax-coordinates", ...).  For c < D "extreme" means a small minimum
+//    coordinate; for c >= D it means a large maximum coordinate.
+//
+// The paper assumes no two defining coordinates are equal; both orderings
+// break ties by record id, which restores that assumption for arbitrary
+// inputs without perturbing the data.  TGS uses the same orderings for its
+// binary partitions (§1.1 [12]).
+
+#ifndef PRTREE_CORE_CORNER_ORDER_H_
+#define PRTREE_CORE_CORNER_ORDER_H_
+
+#include "geom/rect.h"
+
+namespace prtree {
+
+/// Ascending order by corner coordinate `c`, ties by id.  A strict total
+/// order for records with distinct ids.
+template <int D>
+struct CoordLess {
+  int c;
+  bool operator()(const Record<D>& a, const Record<D>& b) const {
+    Real va = a.rect.CornerCoord(c);
+    Real vb = b.rect.CornerCoord(c);
+    if (va != vb) return va < vb;
+    return a.id < b.id;
+  }
+};
+
+/// Most-extreme-first order in direction `c` (see file comment), ties by id.
+template <int D>
+struct ExtremeLess {
+  int c;
+  bool operator()(const Record<D>& a, const Record<D>& b) const {
+    Real va = a.rect.CornerCoord(c);
+    Real vb = b.rect.CornerCoord(c);
+    if (va != vb) return c < D ? va < vb : va > vb;
+    return a.id < b.id;
+  }
+};
+
+/// A cut position in the CoordLess order of dimension `c`: records strictly
+/// below (value, id) fall on the low side.  Used by the grid bulk loader's
+/// slab boundaries and kd splits.
+struct CoordThreshold {
+  Real value;
+  DataId id;
+};
+
+/// True iff record `r` precedes the threshold in CoordLess(c) order.
+template <int D>
+inline bool BeforeThreshold(const Record<D>& r, int c,
+                            const CoordThreshold& t) {
+  Real v = r.rect.CornerCoord(c);
+  if (v != t.value) return v < t.value;
+  return r.id < t.id;
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_CORE_CORNER_ORDER_H_

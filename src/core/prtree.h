@@ -1,0 +1,194 @@
+// The Priority R-tree (§2.2) — the paper's primary contribution.
+//
+// A PR-tree is a normal height-balanced R-tree built in bottom-up stages:
+// stage 0 groups the N input rectangles into leaves using a pseudo-PR-tree
+// on S_0 = S and keeps only its leaves; stage i >= 1 does the same on S_i =
+// the bounding boxes of the stage-(i-1) nodes, producing level-i nodes.
+// The construction ends when a stage's input fits in a single block, which
+// becomes the root.  Theorem 1: bulk-loading costs
+// O((N/B) log_{M/B} (N/B)) I/Os and window queries cost
+// O(sqrt(N/B) + T/B) I/Os (O((N/B)^{1-1/d} + T/B) in d dimensions,
+// Theorem 2 — the whole construction is templated on D).
+//
+// Each stage uses the I/O-efficient grid algorithm (core/grid_builder.h)
+// while its input exceeds the memory budget and the in-memory builder
+// (core/pseudo_prtree.h) once it fits — exactly the paper's recursion
+// structure, so measured build I/Os reproduce Figures 9-10.
+
+#ifndef PRTREE_CORE_PRTREE_H_
+#define PRTREE_CORE_PRTREE_H_
+
+#include <vector>
+
+#include "core/grid_builder.h"
+#include "core/pseudo_prtree.h"
+#include "io/stream.h"
+#include "io/work_env.h"
+#include "rtree/builder.h"
+#include "rtree/rtree.h"
+#include "util/status.h"
+
+namespace prtree {
+
+/// Options for PR-tree bulk loading.
+struct PrTreeOptions {
+  /// Priority-leaf capacity as a fraction of node capacity.  1.0 is the
+  /// paper's structure (priority leaves of size B); smaller values are the
+  /// ablation toward Agarwal et al.'s size-1 priority boxes [2].
+  double priority_fraction = 1.0;
+
+  /// Force the external grid algorithm even for stage inputs that fit in
+  /// memory (tests use this to exercise the grid path end to end).
+  bool force_grid = false;
+};
+
+namespace internal {
+
+/// Builds one PR-tree stage: groups `input` records into nodes at `level`
+/// via a pseudo-PR-tree, returning the finished nodes' (MBR, page) entries.
+template <int D>
+std::vector<LevelEntry<D>> BuildPrStage(WorkEnv env,
+                                        std::vector<Record<D>>* input,
+                                        int level, size_t node_capacity,
+                                        const PrTreeOptions& opts) {
+  BlockDevice* dev = env.device;
+  std::vector<LevelEntry<D>> finished;
+  std::vector<std::byte> buf(dev->block_size());
+  auto write_chunk = [&](const Record<D>* recs, size_t n) {
+    NodeView<D> node(buf.data(), dev->block_size());
+    node.Format(static_cast<uint16_t>(level));
+    for (size_t i = 0; i < n; ++i) node.Append(recs[i].rect, recs[i].id);
+    PageId page = dev->Allocate();
+    AbortIfError(dev->Write(page, buf.data()));
+    finished.push_back(LevelEntry<D>{node.ComputeMbr(), page});
+  };
+
+  size_t prio_size = std::max<size_t>(
+      1, static_cast<size_t>(opts.priority_fraction *
+                             static_cast<double>(node_capacity)));
+  size_t mem_records = env.MemoryRecords<Record<D>>() / 2;  // working space
+  if (!opts.force_grid && input->size() <= std::max(mem_records,
+                                                    4 * node_capacity)) {
+    PseudoPRTreeBuilder<D> builder(node_capacity, prio_size);
+    builder.EmitLeaves(input, [&](const PseudoLeafChunk& chunk) {
+      write_chunk(input->data() + chunk.offset, chunk.count);
+    });
+    return finished;
+  }
+
+  // External path: spill the stage input to a stream and run the grid
+  // algorithm.
+  Stream<Record<D>> stream(dev);
+  stream.Append(*input);
+  stream.Flush();
+  input->clear();
+  input->shrink_to_fit();
+  GridBuildOptions gopts;
+  gopts.capacity = node_capacity;
+  gopts.priority_size = prio_size;
+  GridEmitLeaves<D>(env, &stream, gopts,
+                    [&](const std::vector<Record<D>>& chunk) {
+                      write_chunk(chunk.data(), chunk.size());
+                    });
+  return finished;
+}
+
+}  // namespace internal
+
+/// \brief Bulk-loads `tree` as a PR-tree over `input` (consumed), per §2.2.
+///
+/// All block transfers are accounted on env.device; the memory budget
+/// selects between the grid algorithm and the in-memory base case per
+/// stage.
+template <int D>
+Status BulkLoadPrTree(WorkEnv env, Stream<Record<D>>* input, RTree<D>* tree,
+                      const PrTreeOptions& opts = PrTreeOptions{}) {
+  if (!tree->empty()) {
+    return Status::InvalidArgument("output tree is not empty");
+  }
+  if (opts.priority_fraction <= 0.0 || opts.priority_fraction > 1.0) {
+    return Status::InvalidArgument("priority_fraction must be in (0, 1]");
+  }
+  input->Flush();
+  const size_t n = input->size();
+  if (n == 0) return Status::OK();
+  const size_t cap = tree->capacity();
+
+  // Stage 0 consumes the input stream.  If it fits in memory, materialise;
+  // otherwise the grid path streams it.
+  std::vector<LevelEntry<D>> level_entries;
+  {
+    std::vector<Record<D>> recs;
+    size_t mem_records = env.MemoryRecords<Record<D>>() / 2;
+    if (!opts.force_grid && n <= std::max(mem_records, 4 * cap)) {
+      input->ReadAll(&recs);
+      input->Clear();
+      level_entries = internal::BuildPrStage<D>(env, &recs, 0, cap, opts);
+    } else {
+      std::vector<std::byte> buf(env.device->block_size());
+      std::vector<LevelEntry<D>> finished;
+      GridBuildOptions gopts;
+      gopts.capacity = cap;
+      gopts.priority_size = std::max<size_t>(
+          1, static_cast<size_t>(opts.priority_fraction *
+                                 static_cast<double>(cap)));
+      GridEmitLeaves<D>(env, input, gopts,
+                        [&](const std::vector<Record<D>>& chunk) {
+                          NodeView<D> node(buf.data(),
+                                           env.device->block_size());
+                          node.Format(0);
+                          for (const auto& r : chunk) {
+                            node.Append(r.rect, r.id);
+                          }
+                          PageId page = env.device->Allocate();
+                          AbortIfError(env.device->Write(page, buf.data()));
+                          finished.push_back(
+                              LevelEntry<D>{node.ComputeMbr(), page});
+                        });
+      input->Clear();
+      level_entries = std::move(finished);
+    }
+  }
+
+  // Stages i >= 1 on the bounding boxes of the previous level's nodes
+  // (§2.2), until everything fits in one block — the root.
+  int level = 0;
+  while (level_entries.size() > 1) {
+    ++level;
+    if (level_entries.size() <= cap) {
+      std::vector<std::byte> buf(env.device->block_size());
+      NodeView<D> node(buf.data(), env.device->block_size());
+      node.Format(static_cast<uint16_t>(level));
+      for (const auto& e : level_entries) node.Append(e.mbr, e.page);
+      PageId page = env.device->Allocate();
+      AbortIfError(env.device->Write(page, buf.data()));
+      level_entries.assign(1, LevelEntry<D>{node.ComputeMbr(), page});
+      break;
+    }
+    std::vector<Record<D>> recs;
+    recs.reserve(level_entries.size());
+    for (const auto& e : level_entries) {
+      recs.push_back(Record<D>{e.mbr, e.page});
+    }
+    level_entries = internal::BuildPrStage<D>(env, &recs, level, cap, opts);
+  }
+  tree->SetRoot(level_entries.front().page, level, n);
+  return Status::OK();
+}
+
+/// Convenience overload: loads from a materialised vector.  The input is
+/// first spilled to a stream on the device so build I/O accounting matches
+/// the stream-based entry point.
+template <int D>
+Status BulkLoadPrTree(WorkEnv env, const std::vector<Record<D>>& input,
+                      RTree<D>* tree,
+                      const PrTreeOptions& opts = PrTreeOptions{}) {
+  Stream<Record<D>> stream(env.device);
+  stream.Append(input);
+  stream.Flush();
+  return BulkLoadPrTree<D>(env, &stream, tree, opts);
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_CORE_PRTREE_H_

@@ -1,0 +1,248 @@
+// The pseudo-PR-tree (§2.1) — the building block of the PR-tree.
+//
+// A pseudo-PR-tree on a set S of rectangles is a 2D-dimensional kd-tree on
+// the corner transformation S*, augmented so that every internal node first
+// extracts 2D "priority leaves": the B rectangles that are most extreme in
+// each of the 2D directions (leftmost left edges, bottommost bottom edges,
+// rightmost right edges, topmost top edges for D = 2).  The remaining
+// rectangles are split at the median of one corner coordinate, cycling
+// through the 2D coordinates round-robin by depth.
+//
+// Lemma 2 gives the payoff: a window query visits only
+// O((N/B)^(1-1/d) + T/B) nodes — the structure this library exists to
+// reproduce.
+//
+// This header implements the in-memory builder.  It is used directly when a
+// construction stage fits in memory (the paper's base case, which also makes
+// the "slightly unbalanced" multiple-of-B splits that give ~100 % packing),
+// by the I/O-efficient grid builder (core/grid_builder.h) for its recursion
+// base, and by tests that check the structural invariants.  Only the leaf
+// sets matter for PR-tree construction — §2.2 discards the internal kd
+// nodes — so the builder's primary product is a stream of leaf chunks; an
+// explicit queryable pseudo-PR-tree index is also provided for §2.1
+// experiments and tests.
+
+#ifndef PRTREE_CORE_PSEUDO_PRTREE_H_
+#define PRTREE_CORE_PSEUDO_PRTREE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/corner_order.h"
+#include "geom/rect.h"
+#include "rtree/rtree.h"
+#include "util/check.h"
+
+namespace prtree {
+
+/// Identifies what role a leaf chunk plays in its pseudo-PR-tree node.
+/// Values 0..2D-1 are priority leaves for that corner direction; kPlainLeaf
+/// marks kd-subdivision leaves (and the chunks of small nodes).
+inline constexpr int kPlainLeaf = -1;
+
+/// \brief A leaf chunk emitted by the builder: `count` records starting at
+/// `offset` in the (reordered) input array.
+///
+/// `subtree_end` is the end offset of the pseudo-PR-tree node's whole
+/// range; for a priority leaf in direction c, every record in
+/// [offset + count, subtree_end) is no more extreme than the chunk's least
+/// extreme member — the invariant tests verify.
+struct PseudoLeafChunk {
+  size_t offset;
+  size_t count;
+  int dir;           // kPlainLeaf or a direction in [0, 2D)
+  int depth;         // kd depth of the emitting node
+  size_t subtree_end;
+};
+
+/// \brief In-memory pseudo-PR-tree construction over a record array.
+///
+/// The records vector is permuted in place; leaves are contiguous ranges of
+/// the permuted array, reported through a callback in construction order.
+template <int D>
+class PseudoPRTreeBuilder {
+ public:
+  using Rec = Record<D>;
+  static constexpr int kDirs = 2 * D;
+
+  /// \param capacity      the paper's B: records per leaf (R-tree fan-out).
+  /// \param priority_size records per priority leaf; defaults to B (the
+  ///        PR-tree).  Values below B move toward Agarwal et al.'s
+  ///        structure [2], whose priority "boxes" hold a single rectangle
+  ///        (§2.1) — exposed for the ablation benchmark.
+  explicit PseudoPRTreeBuilder(size_t capacity, size_t priority_size = 0)
+      : capacity_(capacity),
+        priority_size_(priority_size == 0 ? capacity : priority_size) {
+    PRTREE_CHECK(capacity_ >= 1);
+    PRTREE_CHECK(priority_size_ >= 1 && priority_size_ <= capacity_);
+  }
+
+  /// \brief Builds the pseudo-PR-tree over `records` (permuted in place),
+  /// invoking `emit(const PseudoLeafChunk&)` for every leaf.
+  ///
+  /// `start_depth` seeds the round-robin split dimension; the grid builder
+  /// passes the kd depth already consumed by its top phase.
+  template <typename Emit>
+  void EmitLeaves(std::vector<Rec>* records, Emit emit,
+                  int start_depth = 0) const {
+    Build(records->data(), 0, records->size(), start_depth, emit);
+  }
+
+ private:
+  template <typename Emit>
+  void Build(Rec* data, size_t offset, size_t n, int depth,
+             Emit& emit) const {
+    const size_t b = capacity_;
+    const size_t p = priority_size_;
+    if (n == 0) return;
+    if (n <= b) {
+      // Single leaf (the recursion base of the definition).
+      emit(PseudoLeafChunk{offset, n, kPlainLeaf, depth, offset + n});
+      return;
+    }
+    if (n <= kDirs * p + 2 * b) {
+      // Small node: too few records for 2D full priority leaves plus two
+      // Θ(B) subtrees.  Following §2.1's remark ("we may make the priority
+      // leaves under its parent slightly smaller so that all leaves contain
+      // Θ(B) rectangles"), divide the set evenly into m = ceil(n/B) <= 2D+2
+      // chunks of >= B/2 records, selected most-extreme-first in the
+      // direction cycle.
+      size_t m = (n + b - 1) / b;
+      size_t base = n / m;
+      size_t extra = n % m;
+      Rec* p = data;
+      size_t rem = n;
+      size_t end = offset + n;
+      for (size_t c = 0; c < m; ++c) {
+        size_t sz = base + (c < extra ? 1 : 0);
+        int dir = static_cast<int>(c % kDirs);
+        if (sz < rem) {
+          std::nth_element(p, p + sz, p + rem, ExtremeLess<D>{dir});
+        }
+        emit(PseudoLeafChunk{offset + static_cast<size_t>(p - data), sz, dir,
+                             depth, end});
+        p += sz;
+        rem -= sz;
+      }
+      PRTREE_DCHECK(rem == 0);
+      return;
+    }
+
+    // Full node: 2D priority leaves of exactly `p` extreme records each
+    // (p = B for the PR-tree), then a median split of the remainder on the
+    // round-robin corner coordinate.
+    Rec* ptr = data;
+    size_t rem = n;
+    size_t end = offset + n;
+    for (int c = 0; c < kDirs; ++c) {
+      std::nth_element(ptr, ptr + p, ptr + rem, ExtremeLess<D>{c});
+      emit(PseudoLeafChunk{offset + static_cast<size_t>(ptr - data), p, c,
+                           depth, end});
+      ptr += p;
+      rem -= p;
+    }
+    PRTREE_DCHECK(rem >= 2 * b);
+    int dim = depth % kDirs;
+    // Multiple-of-B left side (§2.1, "slightly unbalanced divisions, so
+    // that we have a multiple of B points on one side of each dividing
+    // hyperplane"): keeps every kd leaf full except at most one.
+    size_t left = (rem / 2 / b) * b;
+    PRTREE_DCHECK(left >= b && rem - left >= b);
+    std::nth_element(ptr, ptr + left, ptr + rem, CoordLess<D>{dim});
+    size_t child_off = offset + static_cast<size_t>(ptr - data);
+    Build(ptr, child_off, left, depth + 1, emit);
+    Build(ptr + left, child_off + left, rem - left, depth + 1, emit);
+  }
+
+  size_t capacity_;
+  size_t priority_size_;
+};
+
+/// \brief Builds a queryable pseudo-PR-tree index on a device.
+///
+/// Unlike the PR-tree, the pseudo-PR-tree is not height-balanced: internal
+/// nodes have degree <= 2D + 2 and leaves appear on many levels.  The nodes
+/// are stored in the standard block format with each internal node's level
+/// set to 1 + max(children levels), so is_leaf and query traversal work
+/// unchanged; balance validation does not apply.
+///
+/// Returned through the shared RTree container so the standard Query is
+/// reused; `tree->height()` is the root's level.
+template <int D>
+void BuildPseudoPRTreeIndex(std::vector<Record<D>>* records,
+                            RTree<D>* tree) {
+  PRTREE_CHECK(tree->empty());
+  if (records->empty()) return;
+  BlockDevice* dev = tree->device();
+  const size_t cap = tree->capacity();
+  PseudoPRTreeBuilder<D> builder(cap);
+
+  // The emitted chunk stream is in DFS order: a node's priority leaves are
+  // emitted before its subtrees, and subtree_end tells when a subtree's
+  // range closes.  Reconstruct the node structure from that stream.
+  struct LevelEntryLocal {
+    Rect<D> mbr;
+    PageId page;
+    int level;
+  };
+  struct Frame {
+    size_t end;                          // subtree range end
+    int depth;
+    std::vector<LevelEntryLocal> kids;   // children collected so far
+  };
+  std::vector<Frame> stack;
+
+  std::vector<std::byte> buf(dev->block_size());
+  auto write_leaf = [&](const Record<D>* recs, size_t n) {
+    NodeView<D> node(buf.data(), dev->block_size());
+    node.Format(0);
+    for (size_t i = 0; i < n; ++i) node.Append(recs[i].rect, recs[i].id);
+    PageId page = dev->Allocate();
+    Rect<D> mbr = node.ComputeMbr();
+    AbortIfError(dev->Write(page, buf.data()));
+    return LevelEntryLocal{mbr, page, 0};
+  };
+  auto close_frame = [&](Frame& f) {
+    // Write the internal node over the collected children.
+    PRTREE_CHECK(!f.kids.empty());
+    if (f.kids.size() == 1) return f.kids.front();  // degenerate: hoist
+    NodeView<D> node(buf.data(), dev->block_size());
+    int level = 0;
+    for (const auto& k : f.kids) level = std::max(level, k.level);
+    ++level;
+    node.Format(static_cast<uint16_t>(level));
+    Rect<D> mbr = Rect<D>::Empty();
+    for (const auto& k : f.kids) {
+      node.Append(k.mbr, k.page);
+      mbr.ExtendToCover(k.mbr);
+    }
+    PageId page = dev->Allocate();
+    AbortIfError(dev->Write(page, buf.data()));
+    return LevelEntryLocal{mbr, page, level};
+  };
+
+  builder.EmitLeaves(records, [&](const PseudoLeafChunk& chunk) {
+    // Open frames for any nodes this chunk begins (the emission order
+    // guarantees a node's first chunk arrives before any of its content).
+    if (stack.empty() || chunk.subtree_end != stack.back().end ||
+        chunk.depth != stack.back().depth) {
+      stack.push_back(Frame{chunk.subtree_end, chunk.depth, {}});
+    }
+    stack.back().kids.push_back(
+        write_leaf(records->data() + chunk.offset, chunk.count));
+    // Close every frame whose range ends at this chunk's end.
+    while (stack.size() > 1 &&
+           chunk.offset + chunk.count == stack.back().end) {
+      LevelEntryLocal done = close_frame(stack.back());
+      stack.pop_back();
+      stack.back().kids.push_back(done);
+    }
+  });
+  PRTREE_CHECK(stack.size() == 1);
+  LevelEntryLocal root = close_frame(stack.front());
+  tree->SetRoot(root.page, root.level, records->size());
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_CORE_PSEUDO_PRTREE_H_

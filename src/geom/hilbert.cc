@@ -1,0 +1,134 @@
+#include "geom/hilbert.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace prtree {
+
+namespace {
+
+// Skilling's AxesToTranspose: converts grid coordinates X[0..n) (b bits each)
+// in place into the "transposed" Hilbert index, whose bits, read
+// MSB-interleaved across the n words, form the index along the curve.
+void AxesToTranspose(uint32_t* x, int b, int n) {
+  uint32_t m = 1u << (b - 1);
+  // Inverse undo of the exclusive-or transforms.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+// Inverse of AxesToTranspose.
+void TransposeToAxes(uint32_t* x, int b, int n) {
+  uint32_t nbit = 2u << (b - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != nbit; q <<= 1) {
+    uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HilbertKey HilbertIndex(const uint32_t* coords, int n, int bits) {
+  PRTREE_CHECK(n >= 1 && n <= kMaxHilbertDims);
+  PRTREE_CHECK(bits >= 1 && bits <= 32);
+  PRTREE_CHECK(n * bits <= 128);
+  uint32_t x[kMaxHilbertDims];
+  for (int i = 0; i < n; ++i) {
+    PRTREE_DCHECK(bits == 32 || coords[i] < (1u << bits));
+    x[i] = coords[i];
+  }
+  AxesToTranspose(x, bits, n);
+  // Interleave: bit (bits-1) of x[0] is the most significant index bit, then
+  // bit (bits-1) of x[1], ..., down to bit 0 of x[n-1].
+  HilbertKey key;
+  for (int bit = bits - 1; bit >= 0; --bit) {
+    for (int i = 0; i < n; ++i) {
+      uint64_t b = (x[i] >> bit) & 1u;
+      key.hi = (key.hi << 1) | (key.lo >> 63);
+      key.lo = (key.lo << 1) | b;
+    }
+  }
+  return key;
+}
+
+void HilbertInverse(const HilbertKey& key, uint32_t* coords, int n,
+                    int bits) {
+  PRTREE_CHECK(n >= 1 && n <= kMaxHilbertDims);
+  PRTREE_CHECK(bits >= 1 && bits <= 32);
+  PRTREE_CHECK(n * bits <= 128);
+  uint32_t x[kMaxHilbertDims] = {0};
+  // De-interleave: walk the n*bits index bits MSB-first.
+  int total = n * bits;
+  for (int pos = 0; pos < total; ++pos) {
+    int from_top = total - 1 - pos;  // bit position within the 128-bit key
+    uint64_t b = from_top >= 64 ? (key.hi >> (from_top - 64)) & 1u
+                                : (key.lo >> from_top) & 1u;
+    int bit = bits - 1 - pos / n;
+    int i = pos % n;
+    x[i] |= static_cast<uint32_t>(b) << bit;
+  }
+  TransposeToAxes(x, bits, n);
+  for (int i = 0; i < n; ++i) coords[i] = x[i];
+}
+
+uint64_t HilbertIndex2(uint32_t x, uint32_t y, int bits) {
+  PRTREE_CHECK(2 * bits <= 64);
+  uint32_t coords[2] = {x, y};
+  return HilbertIndex(coords, 2, bits).lo;
+}
+
+uint32_t GridCoord(Real v, Real lo, Real hi, int bits) {
+  PRTREE_DCHECK(bits >= 1 && bits <= 32);
+  if (!(hi > lo)) return 0;
+  const double cells = std::ldexp(1.0, bits);  // 2^bits
+  double t = (v - lo) / (hi - lo);
+  if (t < 0) t = 0;
+  double c = std::floor(t * cells);
+  double max_cell = cells - 1;
+  if (c > max_cell) c = max_cell;
+  return static_cast<uint32_t>(c);
+}
+
+HilbertKey HilbertCenterKey(const Rect<2>& r, const Rect<2>& extent) {
+  // Uniform scale over the bounding square (see header comment).
+  Real scale = std::max(extent.Extent(0), extent.Extent(1));
+  uint32_t coords[2] = {
+      GridCoord(r.Center(0), extent.lo[0], extent.lo[0] + scale,
+                kHilbertBits2D),
+      GridCoord(r.Center(1), extent.lo[1], extent.lo[1] + scale,
+                kHilbertBits2D)};
+  return HilbertIndex(coords, 2, kHilbertBits2D);
+}
+
+}  // namespace prtree

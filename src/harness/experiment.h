@@ -1,0 +1,94 @@
+// Shared experiment harness for the figure/table benchmarks.
+//
+// Mirrors the paper's protocol (§3.1, §3.3):
+//  * every bulk load runs on a fresh simulated device with a memory budget
+//    scaled so data:memory stays near the paper's ~9:1 (574 MB of Eastern
+//    data against 64 MB for TPIE), keeping the external-memory behaviour of
+//    the algorithms intact at laptop-scale N;
+//  * build cost is reported as blocks read+written plus wall-clock seconds;
+//  * queries cache all internal nodes, so query cost == leaf blocks read,
+//    reported both raw and as a percentage of the optimal T/B.
+
+#ifndef PRTREE_HARNESS_EXPERIMENT_H_
+#define PRTREE_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "io/block_device.h"
+#include "io/work_env.h"
+#include "rtree/rtree.h"
+
+namespace prtree {
+namespace harness {
+
+/// The index variants of the paper's evaluation (§3) plus STR.
+enum class Variant { kHilbert, kHilbert4D, kPrTree, kTgs, kStr };
+
+/// Short display name used in the paper ("H", "H4", "PR", "TGS", "STR").
+const char* VariantName(Variant v);
+
+/// The paper's four contenders, in its presentation order.
+std::vector<Variant> PaperVariants();
+
+/// \brief A bulk-loaded tree with its own device and measurements.
+struct BuiltIndex {
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<RTree<2>> tree;
+  IoStats build_io;        // blocks read/written during the build
+  double build_seconds = 0;
+  TreeStats tree_stats;
+};
+
+/// \brief Bulk-loads `variant` over `data` on a fresh device.
+///
+/// `memory_bytes` == 0 selects the paper-proportional budget
+/// (max(data/9, 2 MB)).
+BuiltIndex BuildIndex(Variant variant, const std::vector<Record2>& data,
+                      size_t memory_bytes = 0);
+
+/// Paper-proportional memory budget for a dataset of `n` records.
+size_t ScaledMemoryBudget(size_t n);
+
+/// \brief Aggregate query measurements over a batch of windows.
+struct QueryMeasurement {
+  double avg_leaves = 0;        // leaf blocks read per query (the paper's I/O)
+  double avg_internal = 0;      // internal nodes touched per query
+  double avg_results = 0;       // T per query
+  double pct_of_optimal = 0;    // 100 * sum(leaves) / (sum(T)/B)
+  uint64_t total_results = 0;
+  double frac_tree_visited = 0;  // share of all leaves read per query
+};
+
+/// \brief Runs `queries` against `index`, caching all internal nodes first
+/// (§3.3).  Set `cache_internal` false for the cache ablation.
+QueryMeasurement MeasureQueries(const BuiltIndex& index,
+                                const std::vector<Rect2>& queries,
+                                bool cache_internal = true);
+
+/// \brief Command-line options shared by every bench binary.
+///
+///   --n=<records>       dataset size (default per bench)
+///   --queries=<count>   windows per measurement (default 100, as in §3.3)
+///   --seed=<uint64>     generator seed
+///   --scale=<double>    multiplies --n (quick way to approach paper scale)
+struct BenchOptions {
+  size_t n = 0;
+  size_t queries = 100;
+  uint64_t seed = 1;
+  double scale = 1.0;
+
+  size_t ScaledN() const {
+    return static_cast<size_t>(static_cast<double>(n) * scale);
+  }
+};
+
+/// Parses the shared flags; unknown flags abort with a usage message.
+BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n);
+
+}  // namespace harness
+}  // namespace prtree
+
+#endif  // PRTREE_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,66 @@
+#include "io/block_device.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace prtree {
+
+BlockDevice::BlockDevice(size_t block_size) : block_size_(block_size) {
+  PRTREE_CHECK(block_size_ >= 64);
+}
+
+PageId BlockDevice::Allocate() {
+  PageId page;
+  if (!free_list_.empty()) {
+    page = free_list_.back();
+    free_list_.pop_back();
+    std::memset(blocks_[page].get(), 0, block_size_);
+    live_[page] = true;
+  } else {
+    PRTREE_CHECK(blocks_.size() < kInvalidPageId);
+    page = static_cast<PageId>(blocks_.size());
+    blocks_.push_back(std::make_unique<std::byte[]>(block_size_));
+    live_.push_back(true);
+  }
+  ++allocated_;
+  peak_allocated_ = std::max(peak_allocated_, allocated_);
+  return page;
+}
+
+void BlockDevice::Free(PageId page) {
+  PRTREE_CHECK(IsLive(page));
+  live_[page] = false;
+  free_list_.push_back(page);
+  PRTREE_CHECK(allocated_ > 0);
+  --allocated_;
+}
+
+bool BlockDevice::IsLive(PageId page) const {
+  return page < blocks_.size() && live_[page];
+}
+
+Status BlockDevice::Read(PageId page, void* buf) {
+  if (!IsLive(page)) {
+    return Status::IoError("read of unallocated page " + std::to_string(page));
+  }
+  if (read_faults_.contains(page)) {
+    return Status::IoError("injected read fault on page " +
+                           std::to_string(page));
+  }
+  std::memcpy(buf, blocks_[page].get(), block_size_);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status BlockDevice::Write(PageId page, const void* buf) {
+  if (!IsLive(page)) {
+    return Status::IoError("write of unallocated page " +
+                           std::to_string(page));
+  }
+  std::memcpy(blocks_[page].get(), buf, block_size_);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+}  // namespace prtree

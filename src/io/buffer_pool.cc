@@ -1,0 +1,50 @@
+#include "io/buffer_pool.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace prtree {
+
+BufferPool::BufferPool(BlockDevice* device, size_t capacity)
+    : device_(device), capacity_(capacity) {
+  PRTREE_CHECK(device_ != nullptr);
+}
+
+Status BufferPool::Fetch(PageId page, void* out) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    std::memcpy(out, it->second->data.get(), device_->block_size());
+    return Status::OK();
+  }
+  ++misses_;
+  PRTREE_RETURN_NOT_OK(device_->Read(page, out));
+  if (capacity_ == 0) return Status::OK();
+  if (lru_.size() >= capacity_) {
+    frames_.erase(lru_.back().page);
+    lru_.pop_back();
+  }
+  Frame frame;
+  frame.page = page;
+  frame.data = std::make_unique<std::byte[]>(device_->block_size());
+  std::memcpy(frame.data.get(), out, device_->block_size());
+  lru_.push_front(std::move(frame));
+  frames_[page] = lru_.begin();
+  return Status::OK();
+}
+
+void BufferPool::Invalidate(PageId page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) return;
+  lru_.erase(it->second);
+  frames_.erase(it);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace prtree

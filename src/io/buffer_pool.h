@@ -1,0 +1,68 @@
+// LRU page cache.
+//
+// The paper's query experiments cache all internal R-tree nodes (they occupy
+// at most a few MB), so a query's reported I/O count equals the number of
+// leaf blocks read (§3.3).  The buffer pool realises that protocol: the
+// query engine fetches every node through the pool, hits are free, misses
+// cost one device read.
+
+#ifndef PRTREE_IO_BUFFER_POOL_H_
+#define PRTREE_IO_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "io/block_device.h"
+
+namespace prtree {
+
+/// \brief Read-through LRU cache of device blocks.
+///
+/// The pool is a pure read cache: callers that modify pages write to the
+/// device directly and must Invalidate() the page (bulk loaders build trees
+/// before any pool exists, so in practice only the dynamic-update path uses
+/// Invalidate).
+class BufferPool {
+ public:
+  /// \param device   backing device (not owned).
+  /// \param capacity maximum number of cached pages; 0 disables caching
+  ///                 entirely (every fetch is a device read).
+  BufferPool(BlockDevice* device, size_t capacity);
+
+  /// \brief Reads `page` into `out` (block_size bytes), from cache if
+  /// possible.  A miss reads from the device and may evict the
+  /// least-recently-used frame.
+  Status Fetch(PageId page, void* out);
+
+  /// Drops `page` from the cache (after an in-place update).
+  void Invalidate(PageId page);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return frames_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+ private:
+  struct Frame {
+    PageId page;
+    std::unique_ptr<std::byte[]> data;
+  };
+
+  BlockDevice* device_;
+  size_t capacity_;
+  // Most-recently-used at front.
+  std::list<Frame> lru_;
+  std::unordered_map<PageId, std::list<Frame>::iterator> frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_BUFFER_POOL_H_

@@ -1,0 +1,113 @@
+// External multiway merge sort under a memory budget — the
+// O((N/B) log_{M/B} (N/B)) sorting primitive every bulk loader in the paper
+// builds on (§1.1).
+//
+// Run formation loads M bytes of records at a time, sorts them in memory and
+// writes sorted runs; merging combines up to M/block_size - 1 runs per pass
+// through a tournament (priority queue) until one run remains.
+
+#ifndef PRTREE_IO_EXTERNAL_SORT_H_
+#define PRTREE_IO_EXTERNAL_SORT_H_
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "io/stream.h"
+#include "io/work_env.h"
+#include "util/check.h"
+
+namespace prtree {
+
+/// \brief Sorts `input` into a new stream using at most env.memory_bytes of
+/// working memory, counting all block transfers on env.device.
+///
+/// \tparam T    trivially copyable record type.
+/// \tparam Less strict weak ordering over T.
+template <typename T, typename Less>
+Stream<T> ExternalSort(WorkEnv env, Stream<T>* input, Less less) {
+  input->Flush();
+  const size_t run_records = std::max<size_t>(
+      2 * input->records_per_block(), env.memory_bytes / sizeof(T));
+  // One input buffer block per run plus one output block must fit in memory.
+  const size_t fan_in = std::max<size_t>(
+      2, env.memory_bytes / env.device->block_size() - 1);
+
+  // Pass 0: run formation.
+  std::vector<Stream<T>> runs;
+  {
+    typename Stream<T>::Reader reader(input);
+    std::vector<T> buf;
+    buf.reserve(std::min(run_records, input->size()));
+    while (!reader.Done()) {
+      buf.clear();
+      while (!reader.Done() && buf.size() < run_records) {
+        buf.push_back(reader.Next());
+      }
+      std::sort(buf.begin(), buf.end(), less);
+      Stream<T> run(env.device);
+      run.Append(buf);
+      run.Flush();
+      runs.push_back(std::move(run));
+    }
+  }
+  if (runs.empty()) return Stream<T>(env.device);
+
+  // Merge passes.
+  while (runs.size() > 1) {
+    std::vector<Stream<T>> next;
+    for (size_t group = 0; group < runs.size(); group += fan_in) {
+      size_t end = std::min(runs.size(), group + fan_in);
+      if (end - group == 1) {
+        next.push_back(std::move(runs[group]));
+        continue;
+      }
+      // Tournament over the group's readers.
+      std::vector<std::unique_ptr<typename Stream<T>::Reader>> readers;
+      for (size_t r = group; r < end; ++r) {
+        readers.push_back(
+            std::make_unique<typename Stream<T>::Reader>(&runs[r]));
+      }
+      auto heap_greater = [&](size_t a, size_t b) {
+        // std::priority_queue is a max-heap; invert to pop the least record.
+        return less(readers[b]->Peek(), readers[a]->Peek());
+      };
+      std::priority_queue<size_t, std::vector<size_t>,
+                          decltype(heap_greater)>
+          heap(heap_greater);
+      for (size_t i = 0; i < readers.size(); ++i) {
+        if (!readers[i]->Done()) heap.push(i);
+      }
+      Stream<T> merged(env.device);
+      while (!heap.empty()) {
+        size_t i = heap.top();
+        heap.pop();
+        merged.Push(readers[i]->Next());
+        if (!readers[i]->Done()) heap.push(i);
+      }
+      merged.Flush();
+      next.push_back(std::move(merged));
+    }
+    // Free the consumed runs before the next pass.
+    for (auto& r : runs) r.Clear();
+    runs = std::move(next);
+  }
+  return std::move(runs.front());
+}
+
+/// Sorts a vector-backed dataset through the external sorter; convenience
+/// entry point for loaders whose input is already materialised.
+template <typename T, typename Less>
+Stream<T> ExternalSortVector(WorkEnv env, const std::vector<T>& data,
+                             Less less) {
+  Stream<T> in(env.device);
+  in.Append(data);
+  in.Flush();
+  Stream<T> sorted = ExternalSort(env, &in, less);
+  return sorted;
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_EXTERNAL_SORT_H_

@@ -1,0 +1,11 @@
+#include "io/io_stats.h"
+
+namespace prtree {
+
+std::string IoStats::ToString() const {
+  return "reads=" + std::to_string(reads) +
+         " writes=" + std::to_string(writes) +
+         " total=" + std::to_string(Total());
+}
+
+}  // namespace prtree

@@ -1,0 +1,35 @@
+// Block I/O accounting.
+//
+// Every experiment in the paper reports block reads/writes (§3.1, §3.3);
+// these counters are the measured quantity behind Figures 9-14 and Table 1.
+
+#ifndef PRTREE_IO_IO_STATS_H_
+#define PRTREE_IO_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace prtree {
+
+/// \brief Running totals of block-level I/O against a BlockDevice.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  uint64_t Total() const { return reads + writes; }
+
+  IoStats operator-(const IoStats& o) const {
+    return IoStats{reads - o.reads, writes - o.writes};
+  }
+  IoStats& operator+=(const IoStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_IO_STATS_H_

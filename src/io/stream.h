@@ -1,0 +1,235 @@
+// Blocked sequential record streams — the library's equivalent of TPIE
+// streams (§3.1 [3]).
+//
+// A Stream<T> is a growable sequence of trivially-copyable records stored in
+// whole device blocks.  All bulk-loading algorithms consume and produce
+// streams, so their I/O cost is measured by the device counters rather than
+// modelled.
+
+#ifndef PRTREE_IO_STREAM_H_
+#define PRTREE_IO_STREAM_H_
+
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "io/block_device.h"
+#include "util/check.h"
+
+namespace prtree {
+
+/// \brief A sequence of POD records packed into device blocks.
+///
+/// The stream owns its blocks and frees them on destruction, so device
+/// occupancy accounting (peak_allocated) reflects live data.  Writing is
+/// append-only through a one-block buffer; reading is sequential or by
+/// explicit record range.
+template <typename T>
+class Stream {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "stream records must be trivially copyable");
+
+  explicit Stream(BlockDevice* device)
+      : device_(device),
+        per_block_(device->block_size() / sizeof(T)),
+        write_buf_(device->block_size()) {
+    PRTREE_CHECK(per_block_ >= 1);
+  }
+
+  ~Stream() { FreeBlocks(); }
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  Stream(Stream&& o) noexcept
+      : device_(o.device_),
+        per_block_(o.per_block_),
+        pages_(std::move(o.pages_)),
+        size_(o.size_),
+        buffered_(o.buffered_),
+        write_buf_(std::move(o.write_buf_)),
+        sealed_(o.sealed_) {
+    o.pages_.clear();
+    o.size_ = 0;
+    o.buffered_ = 0;
+    o.sealed_ = false;
+  }
+
+  Stream& operator=(Stream&& o) noexcept {
+    if (this != &o) {
+      FreeBlocks();
+      device_ = o.device_;
+      per_block_ = o.per_block_;
+      pages_ = std::move(o.pages_);
+      size_ = o.size_;
+      buffered_ = o.buffered_;
+      write_buf_ = std::move(o.write_buf_);
+      sealed_ = o.sealed_;
+      o.pages_.clear();
+      o.size_ = 0;
+      o.buffered_ = 0;
+      o.sealed_ = false;
+    }
+    return *this;
+  }
+
+  BlockDevice* device() const { return device_; }
+
+  /// Total number of records in the stream (flushed + buffered).
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Records per device block.
+  size_t records_per_block() const { return per_block_; }
+
+  /// Number of device blocks the stream occupies once flushed.
+  size_t num_blocks() const { return (size_ + per_block_ - 1) / per_block_; }
+
+  /// Appends one record, costing a device write every records_per_block()
+  /// appends.  Appending after a partial-tail Flush() is a usage error (the
+  /// stream's block-contiguous record indexing would break), so streams
+  /// follow a write-then-read discipline.
+  void Push(const T& value) {
+    PRTREE_CHECK(!sealed_);
+    std::memcpy(write_buf_.data() + buffered_ * sizeof(T), &value, sizeof(T));
+    ++buffered_;
+    ++size_;
+    if (buffered_ == per_block_) FlushBuffer();
+  }
+
+  /// Appends a batch of records.
+  void Append(const T* values, size_t n) {
+    for (size_t i = 0; i < n; ++i) Push(values[i]);
+  }
+  void Append(const std::vector<T>& values) {
+    Append(values.data(), values.size());
+  }
+
+  /// Flushes any partially filled tail block to the device.  Idempotent;
+  /// called automatically by readers.  Flushing a partial tail seals the
+  /// stream against further appends.
+  void Flush() {
+    if (buffered_ > 0) {
+      if (buffered_ < per_block_) sealed_ = true;
+      FlushBuffer();
+    }
+  }
+
+  /// Reads records [first, first + count) into `out` (resized).  Costs one
+  /// device read per distinct block touched.
+  void ReadRange(size_t first, size_t count, std::vector<T>* out) {
+    Flush();
+    PRTREE_CHECK(first + count <= size_);
+    out->resize(count);
+    if (count == 0) return;
+    std::vector<std::byte> buf(device_->block_size());
+    size_t out_idx = 0;
+    size_t block = first / per_block_;
+    size_t offset = first % per_block_;
+    while (out_idx < count) {
+      AbortIfError(device_->Read(pages_[block], buf.data()));
+      size_t take = std::min(per_block_ - offset, count - out_idx);
+      std::memcpy(&(*out)[out_idx], buf.data() + offset * sizeof(T),
+                  take * sizeof(T));
+      out_idx += take;
+      ++block;
+      offset = 0;
+    }
+  }
+
+  /// Reads the whole stream into `out`.
+  void ReadAll(std::vector<T>* out) { ReadRange(0, size_, out); }
+
+  /// Drops all records and frees the underlying blocks.
+  void Clear() {
+    FreeBlocks();
+    pages_.clear();
+    size_ = 0;
+    buffered_ = 0;
+    sealed_ = false;
+  }
+
+  /// \brief Sequential reader over a record range of a stream.
+  ///
+  /// Holds one block in memory at a time; advancing across a block boundary
+  /// costs one device read.
+  class Reader {
+   public:
+    /// Reader over [first, first + count).
+    Reader(Stream* stream, size_t first, size_t count)
+        : stream_(stream),
+          pos_(first),
+          end_(first + count),
+          buf_(stream->device_->block_size()) {
+      stream_->Flush();
+      PRTREE_CHECK(end_ <= stream_->size_);
+    }
+
+    /// Reader over the whole stream.
+    explicit Reader(Stream* stream) : Reader(stream, 0, stream->size()) {}
+
+    bool Done() const { return pos_ >= end_; }
+
+    /// Current record; requires !Done().
+    const T& Peek() {
+      PRTREE_DCHECK(!Done());
+      LoadBlockIfNeeded();
+      std::memcpy(&current_, buf_.data() + (pos_ % stream_->per_block_) *
+                                               sizeof(T),
+                  sizeof(T));
+      return current_;
+    }
+
+    /// Returns the current record and advances.
+    T Next() {
+      T v = Peek();
+      ++pos_;
+      return v;
+    }
+
+    size_t position() const { return pos_; }
+
+   private:
+    void LoadBlockIfNeeded() {
+      size_t block = pos_ / stream_->per_block_;
+      if (static_cast<ptrdiff_t>(block) != loaded_block_) {
+        AbortIfError(
+            stream_->device_->Read(stream_->pages_[block], buf_.data()));
+        loaded_block_ = static_cast<ptrdiff_t>(block);
+      }
+    }
+
+    Stream* stream_;
+    size_t pos_;
+    size_t end_;
+    std::vector<std::byte> buf_;
+    ptrdiff_t loaded_block_ = -1;
+    T current_;
+  };
+
+ private:
+  void FlushBuffer() {
+    PageId page = device_->Allocate();
+    AbortIfError(device_->Write(page, write_buf_.data()));
+    pages_.push_back(page);
+    buffered_ = 0;
+    std::memset(write_buf_.data(), 0, write_buf_.size());
+  }
+
+  void FreeBlocks() {
+    for (PageId p : pages_) device_->Free(p);
+  }
+
+  BlockDevice* device_;
+  size_t per_block_;
+  std::vector<PageId> pages_;
+  size_t size_ = 0;
+  size_t buffered_ = 0;
+  std::vector<std::byte> write_buf_;
+  bool sealed_ = false;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_STREAM_H_

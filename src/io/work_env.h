@@ -1,0 +1,42 @@
+// Execution environment for external-memory algorithms: the device plus the
+// main-memory budget M.  Mirrors the paper's experimental setup of a fixed
+// disk block size with 64 MB of memory available to TPIE (§3.1).
+
+#ifndef PRTREE_IO_WORK_ENV_H_
+#define PRTREE_IO_WORK_ENV_H_
+
+#include <cstddef>
+
+#include "io/block_device.h"
+
+namespace prtree {
+
+/// Memory budget the paper grants the external-memory library (§3.1).
+inline constexpr size_t kDefaultMemoryBudget = 64ull << 20;  // 64 MB
+
+/// \brief Device handle plus advisory memory budget, passed to every bulk
+/// loader and external algorithm.
+///
+/// The budget is advisory in the sense that algorithms size their run
+/// buffers, merge fan-in, grid resolution z and base-case thresholds from
+/// it; it is not enforced by a custom allocator.  Tests pass tiny budgets to
+/// force multi-pass external behaviour on small inputs.
+struct WorkEnv {
+  BlockDevice* device = nullptr;
+  size_t memory_bytes = kDefaultMemoryBudget;
+
+  /// Number of records of type T that fit in memory (the paper's M).
+  template <typename T>
+  size_t MemoryRecords() const {
+    return memory_bytes / sizeof(T);
+  }
+
+  /// Number of blocks that fit in memory (the paper's M/B).
+  size_t MemoryBlocks() const {
+    return memory_bytes / device->block_size();
+  }
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_WORK_ENV_H_

@@ -1,0 +1,109 @@
+// Shared node-writing helpers for bulk loaders.
+//
+// All one-dimensional-ordering loaders (packed Hilbert, 4-D Hilbert, STR)
+// and the final stages of PR/TGS construction share the same mechanics:
+// write runs of records as full leaves, then repeatedly pack each level's
+// (MBR, page) entries into parent nodes until a single root remains
+// ("bottom-up level-by-level", §1.1 [10, 15, 18]).
+
+#ifndef PRTREE_RTREE_BUILDER_H_
+#define PRTREE_RTREE_BUILDER_H_
+
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace prtree {
+
+/// An entry of a tree level under construction: a finished node and its MBR.
+template <int D>
+struct LevelEntry {
+  Rect<D> mbr;
+  PageId page;
+};
+
+/// \brief Incrementally packs records (or child entries) into node blocks of
+/// a fixed level, emitting a LevelEntry per finished node.
+///
+/// Feeding entries in the loader's chosen order and cutting every
+/// `target_fill` entries yields the near-100 % space utilisation the paper
+/// reports (§3.3).
+template <int D>
+class NodeWriter {
+ public:
+  /// \param device      destination device.
+  /// \param level       tree level of the nodes written (0 = leaf).
+  /// \param target_fill entries per node; defaults to full capacity.
+  NodeWriter(BlockDevice* device, int level, size_t target_fill = 0)
+      : device_(device),
+        level_(level),
+        buf_(device->block_size()),
+        node_(buf_.data(), device->block_size()) {
+    target_fill_ = target_fill == 0 ? node_.capacity() : target_fill;
+    PRTREE_CHECK(target_fill_ >= 1 && target_fill_ <= node_.capacity());
+    node_.Format(static_cast<uint16_t>(level_));
+  }
+
+  /// Adds one entry, flushing a node when target_fill is reached.
+  void Add(const Rect<D>& rect, uint32_t id) {
+    node_.Append(rect, id);
+    if (node_.count() >= target_fill_) FlushNode();
+  }
+
+  /// Flushes any partial node and returns the finished level.
+  std::vector<LevelEntry<D>> Finish() {
+    if (node_.count() > 0) FlushNode();
+    return std::move(finished_);
+  }
+
+ private:
+  void FlushNode() {
+    PageId page = device_->Allocate();
+    Rect<D> mbr = node_.ComputeMbr();
+    AbortIfError(device_->Write(page, buf_.data()));
+    finished_.push_back(LevelEntry<D>{mbr, page});
+    node_.Format(static_cast<uint16_t>(level_));
+  }
+
+  BlockDevice* device_;
+  int level_;
+  size_t target_fill_;
+  std::vector<std::byte> buf_;
+  NodeView<D> node_;
+  std::vector<LevelEntry<D>> finished_;
+};
+
+/// \brief Packs consecutive runs of `children` into parent nodes at `level`.
+template <int D>
+std::vector<LevelEntry<D>> PackLevel(BlockDevice* device,
+                                     const std::vector<LevelEntry<D>>& children,
+                                     int level) {
+  NodeWriter<D> writer(device, level);
+  for (const auto& child : children) writer.Add(child.mbr, child.page);
+  return writer.Finish();
+}
+
+/// \brief Builds the upper levels of `tree` by repeatedly packing
+/// `level0` (finished leaves, in the loader's order) until one node
+/// remains, then installs the root.
+///
+/// \param tree       destination tree (must be empty).
+/// \param level0     the finished leaf level.
+/// \param data_count number of data records stored in the leaves.
+template <int D>
+void PackUpward(RTree<D>* tree, std::vector<LevelEntry<D>> level0,
+                size_t data_count) {
+  PRTREE_CHECK(tree->empty());
+  PRTREE_CHECK(!level0.empty());
+  std::vector<LevelEntry<D>> level = std::move(level0);
+  int height = 0;
+  while (level.size() > 1) {
+    ++height;
+    level = PackLevel(tree->device(), level, height);
+  }
+  tree->SetRoot(level.front().page, height, data_count);
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_RTREE_BUILDER_H_

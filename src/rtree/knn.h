@@ -1,0 +1,111 @@
+// k-nearest-neighbour search over the block-based R-tree.
+//
+// §1.1 notes that "many types of queries can be answered efficiently using
+// an R-tree"; besides window queries, distance queries are the other
+// workhorse.  This is the classic best-first (Hjaltason–Samet style)
+// traversal: a priority queue ordered by MINDIST expands the closest node
+// or reports the closest pending record; it visits provably no more nodes
+// than any correct algorithm for the same tree.
+
+#ifndef PRTREE_RTREE_KNN_H_
+#define PRTREE_RTREE_KNN_H_
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace prtree {
+
+/// \brief One kNN result: a stored record and its distance to the query
+/// point (Euclidean distance to the closest point of the rectangle).
+template <int D>
+struct Neighbor {
+  Record<D> record;
+  Real distance;
+};
+
+/// MINDIST: Euclidean distance from point `p` to rectangle `r` (zero if
+/// the point lies inside).
+template <int D>
+Real MinDist(const std::array<Real, D>& p, const Rect<D>& r) {
+  Real d2 = 0;
+  for (int d = 0; d < D; ++d) {
+    Real delta = 0;
+    if (p[d] < r.lo[d]) {
+      delta = r.lo[d] - p[d];
+    } else if (p[d] > r.hi[d]) {
+      delta = p[d] - r.hi[d];
+    }
+    d2 += delta * delta;
+  }
+  return std::sqrt(d2);
+}
+
+/// \brief Finds the `k` stored records closest to `point`, in increasing
+/// distance order (ties broken by id for determinism).  Returns fewer
+/// than `k` if the tree is smaller.  `stats` (optional) receives node
+/// visit counters; `pool` (optional) caches node reads.
+template <int D>
+std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
+                                   const std::array<Real, D>& point,
+                                   size_t k, QueryStats* stats = nullptr,
+                                   BufferPool* pool = nullptr) {
+  std::vector<Neighbor<D>> result;
+  if (k == 0 || tree.empty()) return result;
+
+  struct Item {
+    Real dist;
+    bool is_record;
+    PageId page;       // when !is_record
+    Record<D> record;  // when is_record
+  };
+  auto greater = [](const Item& a, const Item& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    // Expand nodes before reporting records at equal distance (a record
+    // may otherwise be reported ahead of a closer one still inside a
+    // node); tie records by id for determinism.
+    if (a.is_record != b.is_record) return a.is_record && !b.is_record;
+    if (a.is_record) return a.record.id > b.record.id;
+    return a.page > b.page;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(greater)> heap(
+      greater);
+  heap.push(Item{0.0, false, tree.root(), {}});
+
+  std::vector<std::byte> buf(tree.block_size());
+  QueryStats local;
+  while (!heap.empty() && result.size() < k) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.is_record) {
+      result.push_back(Neighbor<D>{item.record, item.dist});
+      continue;
+    }
+    tree.FetchNode(item.page, buf.data(), pool);
+    NodeView<D> node(buf.data(), tree.block_size());
+    ++local.nodes_visited;
+    if (node.is_leaf()) {
+      ++local.leaves_visited;
+      for (int i = 0; i < node.count(); ++i) {
+        Record<D> rec{node.GetRect(i), node.GetId(i)};
+        heap.push(Item{MinDist<D>(point, rec.rect), true, 0, rec});
+      }
+    } else {
+      ++local.internal_visited;
+      for (int i = 0; i < node.count(); ++i) {
+        heap.push(Item{MinDist<D>(point, node.GetRect(i)), false,
+                       node.GetId(i),
+                       {}});
+      }
+    }
+  }
+  local.results = result.size();
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_RTREE_KNN_H_

@@ -1,0 +1,156 @@
+// On-disk R-tree node layout.
+//
+// A node is exactly one device block (§3.1): a 16-byte header followed by
+// packed 36-byte entries (for D = 2) — four 8-byte coordinates plus a 4-byte
+// identifier, which is a child PageId in internal nodes and an opaque DataId
+// in leaves.  With 4 KB blocks this gives the paper's maximum fan-out of
+// 113.  Entries are not naturally aligned inside the page, so all field
+// access goes through memcpy-based readers/writers (no UB, and the compiler
+// lowers these to plain loads/stores on x86).
+
+#ifndef PRTREE_RTREE_NODE_H_
+#define PRTREE_RTREE_NODE_H_
+
+#include <cstddef>
+#include <cstring>
+
+#include "geom/rect.h"
+#include "io/block_device.h"
+#include "util/check.h"
+
+namespace prtree {
+
+/// Byte offset of the first entry in a node block.
+inline constexpr size_t kNodeHeaderSize = 16;
+
+/// Magic tag marking a formatted R-tree node block.
+inline constexpr uint32_t kNodeMagic = 0x5052544Eu;  // "PRTN"
+
+/// Size in bytes of one node entry for dimension D.
+template <int D>
+constexpr size_t NodeEntrySize() {
+  return 2 * D * sizeof(Real) + sizeof(uint32_t);
+}
+
+/// Maximum number of entries (fan-out) for dimension D and a given block
+/// size.  113 for D = 2 with 4 KB blocks, matching §3.1.
+template <int D>
+constexpr size_t NodeCapacity(size_t block_size) {
+  return (block_size - kNodeHeaderSize) / NodeEntrySize<D>();
+}
+
+/// \brief Mutable view over one node block in a caller-owned buffer.
+///
+/// The view does not own the buffer and performs no I/O; callers read the
+/// block, wrap it, edit, and write it back.
+template <int D>
+class NodeView {
+ public:
+  /// Wraps `block` (block_size bytes).  Does not validate; call IsFormatted
+  /// or Format first.
+  NodeView(std::byte* block, size_t block_size)
+      : block_(block), capacity_(NodeCapacity<D>(block_size)) {}
+
+  /// Initialises an empty node at the given tree level (0 = leaf).
+  void Format(uint16_t level) {
+    WriteU32(0, kNodeMagic);
+    WriteU16(4, level);
+    WriteU16(6, 0);  // count
+    std::memset(block_ + 8, 0, kNodeHeaderSize - 8);
+  }
+
+  bool IsFormatted() const { return ReadU32(0) == kNodeMagic; }
+
+  /// Tree level of this node; leaves are level 0.
+  uint16_t level() const { return ReadU16(4); }
+  bool is_leaf() const { return level() == 0; }
+
+  uint16_t count() const { return ReadU16(6); }
+  void set_count(uint16_t c) {
+    PRTREE_DCHECK(c <= capacity_);
+    WriteU16(6, c);
+  }
+
+  size_t capacity() const { return capacity_; }
+  bool full() const { return count() >= capacity_; }
+
+  /// Bounding rectangle of entry `i`.
+  Rect<D> GetRect(int i) const {
+    PRTREE_DCHECK(i >= 0 && i < count());
+    Rect<D> r;
+    const std::byte* p = EntryPtr(i);
+    std::memcpy(r.lo.data(), p, D * sizeof(Real));
+    std::memcpy(r.hi.data(), p + D * sizeof(Real), D * sizeof(Real));
+    return r;
+  }
+
+  /// Child PageId (internal node) or DataId (leaf) of entry `i`.
+  uint32_t GetId(int i) const {
+    PRTREE_DCHECK(i >= 0 && i < count());
+    uint32_t id;
+    std::memcpy(&id, EntryPtr(i) + 2 * D * sizeof(Real), sizeof(id));
+    return id;
+  }
+
+  /// Overwrites entry `i`.
+  void SetEntry(int i, const Rect<D>& r, uint32_t id) {
+    PRTREE_DCHECK(i >= 0 && i < static_cast<int>(capacity_));
+    std::byte* p = EntryPtr(i);
+    std::memcpy(p, r.lo.data(), D * sizeof(Real));
+    std::memcpy(p + D * sizeof(Real), r.hi.data(), D * sizeof(Real));
+    std::memcpy(p + 2 * D * sizeof(Real), &id, sizeof(id));
+  }
+
+  /// Appends an entry; requires !full().
+  void Append(const Rect<D>& r, uint32_t id) {
+    uint16_t c = count();
+    PRTREE_CHECK(c < capacity_);
+    SetEntry(c, r, id);
+    set_count(c + 1);
+  }
+
+  /// Removes entry `i` by swapping the last entry into its slot.
+  void RemoveSwap(int i) {
+    uint16_t c = count();
+    PRTREE_DCHECK(i >= 0 && i < c);
+    if (i != c - 1) SetEntry(i, GetRect(c - 1), GetId(c - 1));
+    set_count(c - 1);
+  }
+
+  /// Minimal bounding rectangle over all entries (Empty() if none).
+  Rect<D> ComputeMbr() const {
+    Rect<D> mbr = Rect<D>::Empty();
+    for (int i = 0; i < count(); ++i) mbr.ExtendToCover(GetRect(i));
+    return mbr;
+  }
+
+ private:
+  std::byte* EntryPtr(int i) const {
+    return block_ + kNodeHeaderSize + static_cast<size_t>(i) *
+                                          NodeEntrySize<D>();
+  }
+
+  uint32_t ReadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, block_ + off, sizeof(v));
+    return v;
+  }
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, block_ + off, sizeof(v));
+    return v;
+  }
+  void WriteU32(size_t off, uint32_t v) {
+    std::memcpy(block_ + off, &v, sizeof(v));
+  }
+  void WriteU16(size_t off, uint16_t v) {
+    std::memcpy(block_ + off, &v, sizeof(v));
+  }
+
+  std::byte* block_;
+  size_t capacity_;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_RTREE_NODE_H_

@@ -1,0 +1,179 @@
+// Tree snapshots: save a bulk-loaded (or updated) R-tree to a host file
+// and load it back onto any device.
+//
+// An adopted index library must outlive the process; the paper's trees
+// live on disk by construction (§3.1).  The snapshot format is
+// position-independent: pages are written in BFS order and child PageIds
+// are remapped to BFS indices on save and back to freshly allocated pages
+// on load, so a snapshot can be restored onto a device with any allocation
+// state (only the block size must match).
+//
+// Layout:  header { magic, version, block_size, D, height, page_count,
+//                   record_count } followed by page_count raw blocks.
+
+#ifndef PRTREE_RTREE_PERSIST_H_
+#define PRTREE_RTREE_PERSIST_H_
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtree/rtree.h"
+#include "util/status.h"
+
+namespace prtree {
+
+namespace persist_internal {
+
+inline constexpr uint32_t kSnapshotMagic = 0x50525453u;  // "PRTS"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+struct SnapshotHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t block_size;
+  uint32_t dimension;
+  int32_t height;
+  uint32_t page_count;
+  uint64_t record_count;
+};
+
+}  // namespace persist_internal
+
+/// \brief Writes `tree` to `path`.  The tree is unchanged.
+template <int D>
+Status SaveTree(const RTree<D>& tree, const std::string& path) {
+  using persist_internal::SnapshotHeader;
+  if (tree.empty()) {
+    return Status::InvalidArgument("cannot snapshot an empty tree");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+
+  // BFS order assigns every page its index in the snapshot.
+  std::vector<PageId> bfs{tree.root()};
+  std::unordered_map<PageId, uint32_t> index{{tree.root(), 0}};
+  std::vector<std::byte> buf(tree.block_size());
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    Status st = tree.device()->Read(bfs[i], buf.data());
+    if (!st.ok()) {
+      std::fclose(f);
+      return st;
+    }
+    NodeView<D> node(buf.data(), tree.block_size());
+    if (node.is_leaf()) continue;
+    for (int e = 0; e < node.count(); ++e) {
+      PageId child = node.GetId(e);
+      index.emplace(child, static_cast<uint32_t>(bfs.size()));
+      bfs.push_back(child);
+    }
+  }
+
+  SnapshotHeader header{persist_internal::kSnapshotMagic,
+                        persist_internal::kSnapshotVersion,
+                        static_cast<uint32_t>(tree.block_size()),
+                        static_cast<uint32_t>(D),
+                        tree.height(),
+                        static_cast<uint32_t>(bfs.size()),
+                        tree.size()};
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IoError("short write of snapshot header");
+  }
+  for (PageId page : bfs) {
+    AbortIfError(tree.device()->Read(page, buf.data()));
+    NodeView<D> node(buf.data(), tree.block_size());
+    if (!node.is_leaf()) {
+      for (int e = 0; e < node.count(); ++e) {
+        node.SetEntry(e, node.GetRect(e), index.at(node.GetId(e)));
+      }
+    }
+    if (std::fwrite(buf.data(), tree.block_size(), 1, f) != 1) {
+      std::fclose(f);
+      return Status::IoError("short write of snapshot page");
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IoError("close failed");
+  return Status::OK();
+}
+
+/// \brief Loads a snapshot from `path` into `tree` (must be empty; its
+/// device's block size must match the snapshot's).
+template <int D>
+Status LoadTree(const std::string& path, RTree<D>* tree) {
+  using persist_internal::SnapshotHeader;
+  if (!tree->empty()) {
+    return Status::InvalidArgument("output tree is not empty");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+
+  SnapshotHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Corruption("short read of snapshot header");
+  }
+  if (header.magic != persist_internal::kSnapshotMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad snapshot magic");
+  }
+  if (header.version != persist_internal::kSnapshotVersion) {
+    std::fclose(f);
+    return Status::Corruption("unsupported snapshot version");
+  }
+  if (header.dimension != static_cast<uint32_t>(D)) {
+    std::fclose(f);
+    return Status::InvalidArgument("snapshot dimension mismatch");
+  }
+  if (header.block_size != tree->block_size()) {
+    std::fclose(f);
+    return Status::InvalidArgument("snapshot block size mismatch");
+  }
+  if (header.page_count == 0) {
+    std::fclose(f);
+    return Status::Corruption("snapshot with zero pages");
+  }
+
+  // Allocate destination pages up front so BFS indices can be remapped.
+  std::vector<PageId> pages(header.page_count);
+  for (auto& p : pages) p = tree->device()->Allocate();
+
+  std::vector<std::byte> buf(tree->block_size());
+  for (uint32_t i = 0; i < header.page_count; ++i) {
+    if (std::fread(buf.data(), tree->block_size(), 1, f) != 1) {
+      std::fclose(f);
+      for (auto p : pages) tree->device()->Free(p);
+      return Status::Corruption("snapshot truncated at page " +
+                                std::to_string(i));
+    }
+    NodeView<D> node(buf.data(), tree->block_size());
+    if (!node.IsFormatted()) {
+      std::fclose(f);
+      for (auto p : pages) tree->device()->Free(p);
+      return Status::Corruption("snapshot page " + std::to_string(i) +
+                                " is not a node");
+    }
+    if (!node.is_leaf()) {
+      for (int e = 0; e < node.count(); ++e) {
+        uint32_t idx = node.GetId(e);
+        if (idx >= header.page_count) {
+          std::fclose(f);
+          for (auto p : pages) tree->device()->Free(p);
+          return Status::Corruption("snapshot child index out of range");
+        }
+        node.SetEntry(e, node.GetRect(e), pages[idx]);
+      }
+    }
+    AbortIfError(tree->device()->Write(pages[i], buf.data()));
+  }
+  std::fclose(f);
+  tree->SetRoot(pages[0], header.height, header.record_count);
+  return Status::OK();
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_RTREE_PERSIST_H_

@@ -1,0 +1,250 @@
+// The block-based R-tree container shared by all index variants.
+//
+// Every bulk loader in this library (PR, packed Hilbert, 4-D Hilbert, TGS,
+// STR) produces an instance of this one container: a height-balanced
+// multiway tree of node blocks in which each internal entry stores the
+// minimal bounding box of its child's subtree (§1.1).  Because the container
+// and its query procedure are shared, query-performance comparisons between
+// variants measure index quality only.
+
+#ifndef PRTREE_RTREE_RTREE_H_
+#define PRTREE_RTREE_RTREE_H_
+
+#include <functional>
+#include <vector>
+
+#include "geom/rect.h"
+#include "io/buffer_pool.h"
+#include "rtree/node.h"
+#include "util/check.h"
+
+namespace prtree {
+
+/// \brief Query-time visit counters.
+///
+/// `leaves_visited` is the paper's reported query cost: with all internal
+/// nodes cached (§3.3), I/Os per query == leaf blocks read.
+struct QueryStats {
+  uint64_t nodes_visited = 0;
+  uint64_t internal_visited = 0;
+  uint64_t leaves_visited = 0;
+  uint64_t results = 0;
+
+  QueryStats& operator+=(const QueryStats& o) {
+    nodes_visited += o.nodes_visited;
+    internal_visited += o.internal_visited;
+    leaves_visited += o.leaves_visited;
+    results += o.results;
+    return *this;
+  }
+};
+
+/// \brief Structural summary of a tree (per-level node counts, packing).
+struct TreeStats {
+  int height = 0;                      // root level; a leaf-only tree is 0
+  uint64_t num_nodes = 0;              // all node blocks
+  uint64_t num_leaves = 0;
+  uint64_t num_entries = 0;            // data entries in leaves
+  std::vector<uint64_t> nodes_per_level;
+  double utilization = 0.0;            // filled entry slots / total slots
+};
+
+/// \brief A height-balanced R-tree of node blocks on a BlockDevice.
+///
+/// The object holds the tree's superblock state (root page, height, entry
+/// count); the nodes live on the device.  Bulk loaders construct trees via
+/// the page-level helpers (AllocateNode/WriteNode), dynamic updates via
+/// update.h, and all reads go through Query/VisitNode.
+template <int D = 2>
+class RTree {
+ public:
+  using RectT = Rect<D>;
+  using RecordT = Record<D>;
+
+  explicit RTree(BlockDevice* device) : device_(device) {
+    PRTREE_CHECK(device_ != nullptr);
+    PRTREE_CHECK(NodeCapacity<D>(device->block_size()) >= 2);
+  }
+
+  BlockDevice* device() const { return device_; }
+  size_t block_size() const { return device_->block_size(); }
+
+  /// Fan-out: entries per node block (113 for D = 2 with 4 KB blocks).
+  size_t capacity() const { return NodeCapacity<D>(block_size()); }
+
+  bool empty() const { return root_ == kInvalidPageId; }
+  PageId root() const { return root_; }
+
+  /// Level of the root node; 0 means the root is a leaf.  Undefined for an
+  /// empty tree.
+  int height() const { return height_; }
+
+  /// Number of data records stored.
+  size_t size() const { return size_; }
+
+  /// Installs a bulk-loaded tree.  `size` is the number of data records.
+  void SetRoot(PageId root, int height, size_t size) {
+    root_ = root;
+    height_ = height;
+    size_ = size;
+  }
+
+  /// Adjusts the record count after updates.
+  void set_size(size_t n) { size_ = n; }
+
+  /// \brief Window query (§1.1): reports every stored record whose
+  /// rectangle intersects `window` by calling `emit(const RecordT&)`.
+  ///
+  /// Visits exactly the nodes whose MBR intersects the window — the
+  /// standard R-tree procedure the paper analyses.  If `pool` is non-null
+  /// all node reads go through it (the paper's internal-node cache);
+  /// otherwise nodes are read from the device.
+  template <typename Emit>
+  QueryStats Query(const RectT& window, Emit emit,
+                   BufferPool* pool = nullptr) const {
+    QueryStats qs;
+    if (empty()) return qs;
+    std::vector<std::byte> buf(block_size());
+    std::vector<PageId> stack{root_};
+    while (!stack.empty()) {
+      PageId page = stack.back();
+      stack.pop_back();
+      FetchNode(page, buf.data(), pool);
+      NodeView<D> node(buf.data(), block_size());
+      ++qs.nodes_visited;
+      if (node.is_leaf()) {
+        ++qs.leaves_visited;
+        for (int i = 0; i < node.count(); ++i) {
+          RectT r = node.GetRect(i);
+          if (r.Intersects(window)) {
+            ++qs.results;
+            emit(RecordT{r, node.GetId(i)});
+          }
+        }
+      } else {
+        ++qs.internal_visited;
+        for (int i = 0; i < node.count(); ++i) {
+          if (node.GetRect(i).Intersects(window)) {
+            stack.push_back(node.GetId(i));
+          }
+        }
+      }
+    }
+    return qs;
+  }
+
+  /// Window query that materialises matching records.
+  std::vector<RecordT> QueryToVector(const RectT& window,
+                                     BufferPool* pool = nullptr) const {
+    std::vector<RecordT> out;
+    Query(window, [&](const RecordT& r) { out.push_back(r); }, pool);
+    return out;
+  }
+
+  /// MBR of the whole tree (Empty() for an empty tree).  Costs one node
+  /// read.
+  RectT Mbr() const {
+    if (empty()) return RectT::Empty();
+    std::vector<std::byte> buf(block_size());
+    FetchNode(root_, buf.data(), nullptr);
+    return NodeView<D>(buf.data(), block_size()).ComputeMbr();
+  }
+
+  /// \brief Walks the whole tree and returns structural statistics
+  /// (§3.3's space-utilisation numbers).
+  TreeStats ComputeStats() const {
+    TreeStats ts;
+    if (empty()) return ts;
+    ts.height = height_;
+    ts.nodes_per_level.assign(height_ + 1, 0);
+    uint64_t slots = 0;
+    uint64_t filled = 0;
+    std::vector<std::byte> buf(block_size());
+    std::vector<PageId> stack{root_};
+    while (!stack.empty()) {
+      PageId page = stack.back();
+      stack.pop_back();
+      FetchNode(page, buf.data(), nullptr);
+      NodeView<D> node(buf.data(), block_size());
+      ++ts.num_nodes;
+      ts.nodes_per_level[node.level()] += 1;
+      slots += node.capacity();
+      filled += node.count();
+      if (node.is_leaf()) {
+        ++ts.num_leaves;
+        ts.num_entries += node.count();
+      } else {
+        for (int i = 0; i < node.count(); ++i) {
+          stack.push_back(node.GetId(i));
+        }
+      }
+    }
+    ts.utilization = slots == 0 ? 0.0 : static_cast<double>(filled) / slots;
+    return ts;
+  }
+
+  /// Frees every node block of the tree and resets to empty.  Used by the
+  /// logarithmic method when a level is merged away.
+  void FreeAll() {
+    if (empty()) return;
+    std::vector<std::byte> buf(block_size());
+    std::vector<PageId> stack{root_};
+    while (!stack.empty()) {
+      PageId page = stack.back();
+      stack.pop_back();
+      AbortIfError(device_->Read(page, buf.data()));
+      NodeView<D> node(buf.data(), block_size());
+      if (!node.is_leaf()) {
+        for (int i = 0; i < node.count(); ++i) stack.push_back(node.GetId(i));
+      }
+      device_->Free(page);
+    }
+    root_ = kInvalidPageId;
+    height_ = 0;
+    size_ = 0;
+  }
+
+  /// Reads node `page` into `buf`, through `pool` when given.
+  void FetchNode(PageId page, std::byte* buf, BufferPool* pool) const {
+    if (pool != nullptr) {
+      AbortIfError(pool->Fetch(page, buf));
+    } else {
+      AbortIfError(device_->Read(page, buf));
+    }
+  }
+
+  /// \brief Warms `pool` with every internal node — the paper's query setup
+  /// ("in all our experiments we cached all internal nodes", §3.3).  Leaves
+  /// are deliberately not cached, so query I/O == leaves read.
+  /// Returns the number of internal nodes loaded.
+  size_t CacheInternalNodes(BufferPool* pool) const {
+    if (empty() || height_ == 0) return 0;
+    std::vector<std::byte> buf(block_size());
+    size_t loaded = 0;
+    std::vector<std::pair<PageId, int>> stack{{root_, height_}};
+    while (!stack.empty()) {
+      auto [page, level] = stack.back();
+      stack.pop_back();
+      AbortIfError(pool->Fetch(page, buf.data()));
+      NodeView<D> node(buf.data(), block_size());
+      ++loaded;
+      if (level <= 1) continue;  // children are leaves
+      for (int i = 0; i < node.count(); ++i) {
+        stack.push_back({node.GetId(i), level - 1});
+      }
+    }
+    return loaded;
+  }
+
+ private:
+  BlockDevice* device_;
+  PageId root_ = kInvalidPageId;
+  int height_ = 0;
+  size_t size_ = 0;
+};
+
+using RTree2 = RTree<2>;
+
+}  // namespace prtree
+
+#endif  // PRTREE_RTREE_RTREE_H_

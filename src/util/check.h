@@ -1,0 +1,41 @@
+// Internal invariant checking.
+//
+// PRTREE_CHECK fires in all build types: database index corruption must never
+// be allowed to propagate silently, and the cost of the comparisons here is
+// negligible next to block I/O.  PRTREE_DCHECK compiles away in release
+// builds and is used on per-entry hot paths.
+
+#ifndef PRTREE_UTIL_CHECK_H_
+#define PRTREE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prtree {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PRTREE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace prtree
+
+#define PRTREE_CHECK(expr)                                     \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::prtree::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define PRTREE_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define PRTREE_DCHECK(expr) PRTREE_CHECK(expr)
+#endif
+
+#endif  // PRTREE_UTIL_CHECK_H_

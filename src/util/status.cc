@@ -1,0 +1,35 @@
+#include "util/status.h"
+
+namespace prtree {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCapacityExceeded:
+      return "CapacityExceeded";
+    case StatusCode::kCorruption:
+      return "Corruption";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace prtree

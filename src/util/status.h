@@ -1,0 +1,117 @@
+// Arrow/RocksDB-style status codes for recoverable errors at public API
+// boundaries.  Internal invariants use PRTREE_CHECK instead; the library does
+// not throw exceptions.
+
+#ifndef PRTREE_UTIL_STATUS_H_
+#define PRTREE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace prtree {
+
+/// \brief Error category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kNotFound,
+  kCapacityExceeded,
+  kCorruption,
+};
+
+/// \brief A lightweight success-or-error result, returned by fallible public
+/// APIs (bulk loaders, device operations, update operations).
+///
+/// Usage follows the RocksDB convention:
+///
+///     Status s = builder.Build(...);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Aborts if `s` is not OK.  For call sites where failure is a programming
+/// error (e.g. tests and examples).
+inline void AbortIfError(const Status& s) {
+  if (!s.ok()) {
+    internal::CheckFailed(__FILE__, __LINE__, s.ToString().c_str());
+  }
+}
+
+#define PRTREE_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::prtree::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// \brief Value-or-error result, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Implicit conversion from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PRTREE_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PRTREE_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    PRTREE_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    PRTREE_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_UTIL_STATUS_H_

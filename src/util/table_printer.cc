@@ -1,0 +1,84 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/check.h"
+
+namespace prtree {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PRTREE_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  PRTREE_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row, char pad) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += pad == ' ' ? " | " : "-+-";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), pad);
+    }
+    // Trim trailing padding for tidy diffs.
+    while (!line.empty() && (line.back() == ' ' || line.back() == '-')) {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_, ' ');
+  std::vector<std::string> rule(headers_.size());
+  out += render_row(rule, '-');
+  for (const auto& row : rows_) out += render_row(row, ' ');
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+std::string TablePrinter::Fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtCount(uint64_t v) {
+  char raw[32];
+  std::snprintf(raw, sizeof(raw), "%" PRIu64, v);
+  std::string digits = raw;
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TablePrinter::FmtPercent(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+  return buf;
+}
+
+}  // namespace prtree

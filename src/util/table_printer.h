@@ -1,0 +1,48 @@
+// Fixed-width ASCII table output used by the benchmark harness to print the
+// rows/series of each paper figure.
+
+#ifndef PRTREE_UTIL_TABLE_PRINTER_H_
+#define PRTREE_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace prtree {
+
+/// \brief Collects rows of string cells and prints them with aligned columns.
+///
+/// Example output:
+///
+///     variant | build I/Os | seconds
+///     --------+------------+--------
+///     H       |    12 345  |   0.81
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints the table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string Fmt(double v, int prec = 2);
+  /// Formats an integer with thousands separators ("12,345").
+  static std::string FmtCount(uint64_t v);
+  /// Formats `v` as a percentage string with one decimal ("97.3%").
+  static std::string FmtPercent(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing for the experiment harness.
+
+#ifndef PRTREE_UTIL_TIMER_H_
+#define PRTREE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace prtree {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_UTIL_TIMER_H_

@@ -1,0 +1,195 @@
+#include "workload/datasets.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prtree {
+namespace workload {
+
+namespace {
+
+Record2 MakeRecord(double xmin, double ymin, double xmax, double ymax,
+                   DataId id) {
+  Record2 rec;
+  rec.rect = MakeRect(xmin, ymin, xmax, ymax);
+  rec.id = id;
+  return rec;
+}
+
+}  // namespace
+
+std::vector<Record2> MakeSize(size_t n, double max_side, uint64_t seed) {
+  PRTREE_CHECK(max_side > 0 && max_side <= 1.0);
+  Rng rng(seed);
+  std::vector<Record2> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    double w = rng.Uniform(0, max_side);
+    double h = rng.Uniform(0, max_side);
+    double cx = rng.Uniform(0, 1);
+    double cy = rng.Uniform(0, 1);
+    double xmin = cx - w / 2, xmax = cx + w / 2;
+    double ymin = cy - h / 2, ymax = cy + h / 2;
+    // §3.2: "we discarded rectangles that were not completely inside the
+    // unit square (but made sure each dataset had [n] rectangles)".
+    if (xmin < 0 || ymin < 0 || xmax > 1 || ymax > 1) continue;
+    out.push_back(MakeRecord(xmin, ymin, xmax, ymax,
+                             static_cast<DataId>(out.size())));
+  }
+  return out;
+}
+
+std::vector<Record2> MakeAspect(size_t n, double aspect, uint64_t seed) {
+  PRTREE_CHECK(aspect >= 1.0);
+  constexpr double kArea = 1e-6;  // §3.2: fixed, reasonably small area
+  Rng rng(seed);
+  std::vector<Record2> out;
+  out.reserve(n);
+  // Long side l and short side s with l*s = kArea, l/s = aspect.
+  double l = std::sqrt(kArea * aspect);
+  double s = std::sqrt(kArea / aspect);
+  while (out.size() < n) {
+    double w = l, h = s;
+    if (rng.Chance(0.5)) std::swap(w, h);  // long side vertical or horizontal
+    double cx = rng.Uniform(0, 1);
+    double cy = rng.Uniform(0, 1);
+    double xmin = cx - w / 2, xmax = cx + w / 2;
+    double ymin = cy - h / 2, ymax = cy + h / 2;
+    if (xmin < 0 || ymin < 0 || xmax > 1 || ymax > 1) continue;
+    out.push_back(MakeRecord(xmin, ymin, xmax, ymax,
+                             static_cast<DataId>(out.size())));
+  }
+  return out;
+}
+
+std::vector<Record2> MakeSkewed(size_t n, int c, uint64_t seed) {
+  PRTREE_CHECK(c >= 1);
+  Rng rng(seed);
+  std::vector<Record2> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.Uniform(0, 1);
+    double y = std::pow(rng.Uniform(0, 1), c);
+    out.push_back(MakeRecord(x, y, x, y, static_cast<DataId>(i)));
+  }
+  return out;
+}
+
+std::vector<Record2> MakeCluster(size_t clusters, size_t per_cluster,
+                                 uint64_t seed) {
+  PRTREE_CHECK(clusters >= 1);
+  constexpr double kClusterSide = 1e-5;  // §3.2
+  Rng rng(seed);
+  std::vector<Record2> out;
+  out.reserve(clusters * per_cluster);
+  for (size_t ci = 0; ci < clusters; ++ci) {
+    // Centres equally spaced on a horizontal line across the unit square.
+    double cx = (ci + 0.5) / clusters;
+    double cy = 0.5;
+    for (size_t p = 0; p < per_cluster; ++p) {
+      double x = cx + rng.Uniform(-kClusterSide / 2, kClusterSide / 2);
+      double y = cy + rng.Uniform(-kClusterSide / 2, kClusterSide / 2);
+      out.push_back(
+          MakeRecord(x, y, x, y, static_cast<DataId>(out.size())));
+    }
+  }
+  return out;
+}
+
+uint64_t BitReverse(uint64_t i, int bits) {
+  uint64_t r = 0;
+  for (int b = 0; b < bits; ++b) {
+    r = (r << 1) | ((i >> b) & 1);
+  }
+  return r;
+}
+
+std::vector<Record2> MakeWorstCaseGrid(size_t columns, size_t rows) {
+  PRTREE_CHECK(columns >= 1 && rows >= 1);
+  int k = 0;
+  while ((size_t{1} << k) < columns) ++k;  // k = ceil(log2 columns)
+  const double n_total = static_cast<double>(columns) *
+                         static_cast<double>(rows);
+  std::vector<Record2> out;
+  out.reserve(columns * rows);
+  for (size_t i = 0; i < columns; ++i) {
+    double shift = static_cast<double>(BitReverse(i, k)) / n_total;
+    for (size_t j = 0; j < rows; ++j) {
+      double x = static_cast<double>(i) + 0.5;
+      double y = static_cast<double>(j) / static_cast<double>(rows) + shift;
+      out.push_back(MakeRecord(x, y, x, y,
+                               static_cast<DataId>(out.size())));
+    }
+  }
+  return out;
+}
+
+std::vector<Record2> MakeTigerLike(size_t n, TigerRegion region,
+                                   uint64_t seed) {
+  // Region presets: the East coast has more, denser urban areas; the West
+  // fewer and sparser, spread over a wider extent.
+  const bool eastern = region == TigerRegion::kEastern;
+  const size_t num_centers = eastern ? 160 : 60;
+  const double urban_sigma = eastern ? 0.012 : 0.02;
+  const double urban_fraction = eastern ? 0.82 : 0.72;
+  // Urban blocks are short; rural segments are several times longer with a
+  // heavier tail (real TIGER chops long country roads into fewer, longer
+  // pieces) — the extent mix is what separates extent-aware loaders from
+  // centre-only ones on this data.
+  const double urban_segment = 2e-4;
+  const double rural_segment = 1.5e-3;
+
+  Rng rng(seed + (eastern ? 0x9E3779B97F4A7C15ull : 0xC2B2AE3D27D4EB4Full));
+  // Urban centres.
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(num_centers);
+  for (size_t i = 0; i < num_centers; ++i) {
+    centers.emplace_back(rng.Uniform(0.05, 0.95), rng.Uniform(0.05, 0.95));
+  }
+
+  std::vector<Record2> out;
+  out.reserve(n);
+  // Roads: random walks of short segments; each record is one segment's
+  // bounding box, so most rectangles are thin and tiny (like TIGER's road
+  // segments, where "long roads are divided into short segments").
+  double x = 0.5, y = 0.5, heading = 0.0;
+  double mean_segment = urban_segment;
+  size_t remaining_in_road = 0;
+  while (out.size() < n) {
+    if (remaining_in_road == 0) {
+      // Start a new road at an urban centre (or in the countryside).
+      if (rng.Chance(urban_fraction)) {
+        const auto& c = centers[rng.UniformInt(0, centers.size() - 1)];
+        x = c.first + rng.Gaussian(0, urban_sigma);
+        y = c.second + rng.Gaussian(0, urban_sigma);
+        mean_segment = urban_segment;
+      } else {
+        x = rng.Uniform(0, 1);
+        y = rng.Uniform(0, 1);
+        mean_segment = rural_segment;
+      }
+      heading = rng.Uniform(0, 2 * M_PI);
+      remaining_in_road = 3 + rng.UniformInt(0, 60);
+    }
+    double len = rng.Exponential(mean_segment);
+    heading += rng.Gaussian(0, 0.35);  // roads bend gently
+    double nx = x + len * std::cos(heading);
+    double ny = y + len * std::sin(heading);
+    if (nx < 0 || nx > 1 || ny < 0 || ny > 1) {
+      remaining_in_road = 0;  // road ran off the map
+      continue;
+    }
+    out.push_back(MakeRecord(std::min(x, nx), std::min(y, ny),
+                             std::max(x, nx), std::max(y, ny),
+                             static_cast<DataId>(out.size())));
+    x = nx;
+    y = ny;
+    --remaining_in_road;
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace prtree

@@ -1,0 +1,79 @@
+// Dataset generators for the paper's evaluation (§3.2) and lower-bound
+// construction (§2.4).
+//
+// Synthetic families (each defaults to the unit square):
+//   SIZE(max_side)  — uniform centres; side lengths uniform in
+//                     (0, max_side], rejected unless fully inside the unit
+//                     square.
+//   ASPECT(a)       — uniform centres; fixed area 1e-6, aspect ratio a,
+//                     long side axis chosen uniformly.
+//   SKEWED(c)       — uniform points with y replaced by y^c.
+//   CLUSTER         — clusters of points in 1e-5 x 1e-5 squares, centres
+//                     equally spaced on a horizontal line (the worst-case
+//                     dataset behind Table 1).
+//   WorstCaseGrid   — §2.4's Halton–Hammersley construction: N/B columns of
+//                     B points, column i shifted by bit-reversal(i)/N; a
+//                     horizontal line query returns nothing yet forces the
+//                     heuristic R-trees to visit every leaf (Theorem 3).
+//
+// TIGER substitute: the paper uses TIGER/Line road segments (Eastern
+// 16.7M, Western 12M bounding boxes of short road segments, "somewhat (but
+// not too badly) clustered around urban areas").  The real CD-ROMs are not
+// available offline; TigerLike generates random-walk road polylines around
+// sampled urban centres plus a rural background, reproducing the two
+// properties the evaluation depends on — tiny elongated rectangles with
+// mild clustering.  See DESIGN.md §2 for the substitution rationale.
+
+#ifndef PRTREE_WORKLOAD_DATASETS_H_
+#define PRTREE_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace prtree {
+namespace workload {
+
+/// SIZE(max_side): uniformly distributed rectangles with sides uniform in
+/// (0, max_side], fully inside the unit square (§3.2).
+std::vector<Record2> MakeSize(size_t n, double max_side, uint64_t seed);
+
+/// ASPECT(a): uniformly distributed rectangles of area 1e-6 and aspect
+/// ratio `a`, long side vertical or horizontal with equal probability,
+/// fully inside the unit square (§3.2).
+std::vector<Record2> MakeAspect(size_t n, double aspect, uint64_t seed);
+
+/// SKEWED(c): uniform points (x, y) squeezed to (x, y^c) (§3.2).
+std::vector<Record2> MakeSkewed(size_t n, int c, uint64_t seed);
+
+/// CLUSTER: `clusters` point clusters of `per_cluster` points each, in
+/// 1e-5 x 1e-5 squares with centres equally spaced on the horizontal line
+/// y = 0.5 (§3.2; paper uses 10 000 x 1 000).
+std::vector<Record2> MakeCluster(size_t clusters, size_t per_cluster,
+                                 uint64_t seed);
+
+/// §2.4 worst-case grid: `columns` columns of `rows` points; point (i, j)
+/// at x = i + 1/2, y = j/rows + bitreverse_k(i)/(columns*rows) where
+/// k = ceil(log2(columns)).  All coordinates are exact in double precision.
+std::vector<Record2> MakeWorstCaseGrid(size_t columns, size_t rows);
+
+/// Named TIGER-like presets (see file comment).
+enum class TigerRegion {
+  kEastern,  // denser, more urban clusters (16 states on the paper's disk 1)
+  kWestern,  // sparser (5 states on disk 6)
+};
+
+/// TIGER substitute: `n` bounding boxes of short road-like segments.
+/// A fixed (region, seed) pair yields a deterministic stream; size-graded
+/// datasets (Figure 10/14) are prefixes of the same stream.
+std::vector<Record2> MakeTigerLike(size_t n, TigerRegion region,
+                                   uint64_t seed);
+
+/// Bit reversal of `i` in `bits` bits (exposed for tests of the §2.4 grid).
+uint64_t BitReverse(uint64_t i, int bits);
+
+}  // namespace workload
+}  // namespace prtree
+
+#endif  // PRTREE_WORKLOAD_DATASETS_H_

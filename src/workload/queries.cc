@@ -1,0 +1,67 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace prtree {
+namespace workload {
+
+std::vector<Rect2> MakeSquareQueries(const Rect2& extent,
+                                     double area_fraction, size_t count,
+                                     uint64_t seed) {
+  PRTREE_CHECK(area_fraction > 0 && area_fraction <= 1);
+  Rng rng(seed);
+  double side_frac = std::sqrt(area_fraction);
+  double w = side_frac * extent.Extent(0);
+  double h = side_frac * extent.Extent(1);
+  std::vector<Rect2> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double x = rng.Uniform(extent.lo[0], extent.hi[0] - w);
+    double y = rng.Uniform(extent.lo[1], extent.hi[1] - h);
+    out.push_back(MakeRect(x, y, x + w, y + h));
+  }
+  return out;
+}
+
+std::vector<Rect2> MakeSkewedQueries(double area_fraction, int c,
+                                     size_t count, uint64_t seed) {
+  PRTREE_CHECK(c >= 1);
+  // §3.3: "squares with area 0.01 that are skewed in the same way as the
+  // dataset (that is, where the corner (x, y) is transformed to (x, y^c))
+  // so that the output size remains roughly the same".
+  Rng rng(seed);
+  double side = std::sqrt(area_fraction);
+  std::vector<Rect2> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double x = rng.Uniform(0, 1 - side);
+    double y = rng.Uniform(0, 1 - side);
+    out.push_back(MakeRect(x, std::pow(y, c), x + side,
+                           std::pow(y + side, c)));
+  }
+  return out;
+}
+
+std::vector<Rect2> MakeHorizontalStabQueries(const Rect2& extent,
+                                             double height, double band,
+                                             size_t count, uint64_t seed) {
+  PRTREE_CHECK(height >= 0);
+  PRTREE_CHECK(band > 0 && band <= 1);
+  Rng rng(seed);
+  double cy = extent.Center(1);
+  double half_band = band * extent.Extent(1) / 2;
+  std::vector<Rect2> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double y = rng.Uniform(cy - half_band, cy + half_band - height);
+    out.push_back(MakeRect(extent.lo[0], y, extent.hi[0], y + height));
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace prtree

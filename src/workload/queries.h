@@ -1,0 +1,45 @@
+// Query workload generators for the paper's experiments (§3.3).
+//
+//  * Square windows covering a given fraction of the data extent's area
+//    (Figures 12-15; the paper sweeps 0.25 %-2 % and uses 1 % for the
+//    synthetic experiments).
+//  * Skew-transformed windows for SKEWED(c): the window's corners undergo
+//    the same (x, y) -> (x, y^c) squeeze as the data, keeping the output
+//    size roughly constant across c.
+//  * Thin horizontal stabbing windows for CLUSTER and the §2.4 grid: long
+//    skinny rectangles through all clusters/columns (Table 1 uses area
+//    1e-7 windows spanning the full x extent).
+
+#ifndef PRTREE_WORKLOAD_QUERIES_H_
+#define PRTREE_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace prtree {
+namespace workload {
+
+/// `count` square windows of area `area_fraction` * area(extent), placed
+/// uniformly so each window lies inside the extent (§3.3).
+std::vector<Rect2> MakeSquareQueries(const Rect2& extent,
+                                     double area_fraction, size_t count,
+                                     uint64_t seed);
+
+/// Square windows of the given area fraction whose corners are then
+/// squeezed by (x, y) -> (x, y^c), matching the SKEWED(c) data transform.
+std::vector<Rect2> MakeSkewedQueries(double area_fraction, int c,
+                                     size_t count, uint64_t seed);
+
+/// Thin horizontal windows spanning [extent.xmin, extent.xmax] with height
+/// `height`, vertical position uniform in the central `band` fraction of
+/// the extent (Table 1's long skinny queries through all clusters).
+std::vector<Rect2> MakeHorizontalStabQueries(const Rect2& extent,
+                                             double height, double band,
+                                             size_t count, uint64_t seed);
+
+}  // namespace workload
+}  // namespace prtree
+
+#endif  // PRTREE_WORKLOAD_QUERIES_H_

@@ -1,0 +1,97 @@
+#include "core/corner_order.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace prtree {
+namespace {
+
+using testing_util::RandomRects;
+
+TEST(CornerOrderTest, CoordLessOrdersByEachCornerCoordinate) {
+  Record2 a{MakeRect(1, 5, 3, 8), 0};
+  Record2 b{MakeRect(2, 4, 2.5, 9), 1};
+  EXPECT_TRUE((CoordLess<2>{0}(a, b)));   // xmin 1 < 2
+  EXPECT_FALSE((CoordLess<2>{1}(a, b)));  // ymin 5 > 4
+  EXPECT_FALSE((CoordLess<2>{2}(a, b)));  // xmax 3 > 2.5
+  EXPECT_TRUE((CoordLess<2>{3}(a, b)));   // ymax 8 < 9
+}
+
+TEST(CornerOrderTest, ExtremeLessMinimisesLowsAndMaximisesHighs) {
+  Record2 a{MakeRect(1, 5, 3, 8), 0};
+  Record2 b{MakeRect(2, 4, 2.5, 9), 1};
+  // Direction 0 (xmin): smaller xmin is more extreme.
+  EXPECT_TRUE((ExtremeLess<2>{0}(a, b)));
+  // Direction 2 (xmax): larger xmax is more extreme.
+  EXPECT_TRUE((ExtremeLess<2>{2}(a, b)));
+  // Direction 3 (ymax): larger ymax is more extreme -> b first.
+  EXPECT_TRUE((ExtremeLess<2>{3}(b, a)));
+}
+
+TEST(CornerOrderTest, TiesBrokenByIdGiveStrictTotalOrder) {
+  Record2 a{MakeRect(1, 1, 2, 2), 3};
+  Record2 b{MakeRect(1, 1, 2, 2), 7};
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_TRUE((CoordLess<2>{c}(a, b)));
+    EXPECT_FALSE((CoordLess<2>{c}(b, a)));
+    EXPECT_FALSE((CoordLess<2>{c}(a, a)));  // irreflexive
+    EXPECT_TRUE((ExtremeLess<2>{c}(a, b)));
+    EXPECT_FALSE((ExtremeLess<2>{c}(b, a)));
+  }
+}
+
+TEST(CornerOrderTest, BeforeThresholdConsistentWithCoordLess) {
+  auto data = RandomRects<2>(300, 55);
+  for (int c = 0; c < 4; ++c) {
+    std::sort(data.begin(), data.end(), CoordLess<2>{c});
+    // The threshold at rank r separates exactly r records.
+    for (size_t r : {size_t{0}, size_t{1}, size_t{150}, size_t{299}}) {
+      CoordThreshold t{data[r].rect.CornerCoord(c), data[r].id};
+      size_t before = 0;
+      for (const auto& rec : data) {
+        if (BeforeThreshold(rec, c, t)) ++before;
+      }
+      EXPECT_EQ(before, r) << "dim " << c << " rank " << r;
+    }
+  }
+}
+
+TEST(CornerOrderTest, SortingByAllDirectionsIsAPermutation) {
+  auto data = RandomRects<2>(500, 57);
+  for (int c = 0; c < 4; ++c) {
+    auto copy = data;
+    std::sort(copy.begin(), copy.end(), ExtremeLess<2>{c});
+    // Most-extreme-first: the front element attains the direction optimum.
+    Real front = copy.front().rect.CornerCoord(c);
+    for (const auto& rec : copy) {
+      if (c < 2) {
+        EXPECT_GE(rec.rect.CornerCoord(c), front);
+      } else {
+        EXPECT_LE(rec.rect.CornerCoord(c), front);
+      }
+    }
+    EXPECT_EQ(copy.size(), data.size());
+  }
+}
+
+TEST(CornerOrderTest, ThreeDimensionalDirections) {
+  Record<3> a, b;
+  a.rect.lo = {1, 2, 3};
+  a.rect.hi = {4, 5, 6};
+  a.id = 0;
+  b.rect.lo = {2, 1, 4};
+  b.rect.hi = {3, 6, 5};
+  b.id = 1;
+  EXPECT_TRUE((ExtremeLess<3>{0}(a, b)));  // xmin: 1 < 2
+  EXPECT_TRUE((ExtremeLess<3>{1}(b, a)));  // ymin: 1 < 2
+  EXPECT_TRUE((ExtremeLess<3>{2}(a, b)));  // zmin: 3 < 4
+  EXPECT_TRUE((ExtremeLess<3>{3}(a, b)));  // xmax: 4 > 3
+  EXPECT_TRUE((ExtremeLess<3>{4}(b, a)));  // ymax: 6 > 5
+  EXPECT_TRUE((ExtremeLess<3>{5}(a, b)));  // zmax: 6 > 5
+}
+
+}  // namespace
+}  // namespace prtree

@@ -1,0 +1,197 @@
+#include "workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/queries.h"
+
+namespace prtree {
+namespace {
+
+TEST(SizeDatasetTest, InsideUnitSquareWithBoundedSides) {
+  for (double max_side : {0.002, 0.05, 0.2}) {
+    auto data = workload::MakeSize(5000, max_side, 42);
+    ASSERT_EQ(data.size(), 5000u);
+    for (const auto& rec : data) {
+      EXPECT_GE(rec.rect.lo[0], 0.0);
+      EXPECT_GE(rec.rect.lo[1], 0.0);
+      EXPECT_LE(rec.rect.hi[0], 1.0);
+      EXPECT_LE(rec.rect.hi[1], 1.0);
+      EXPECT_LE(rec.rect.Extent(0), max_side);
+      EXPECT_LE(rec.rect.Extent(1), max_side);
+    }
+  }
+}
+
+TEST(SizeDatasetTest, DeterministicPerSeed) {
+  auto a = workload::MakeSize(100, 0.01, 7);
+  auto b = workload::MakeSize(100, 0.01, 7);
+  auto c = workload::MakeSize(100, 0.01, 8);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(AspectDatasetTest, FixedAreaAndAspect) {
+  for (double aspect : {10.0, 1e3, 1e5}) {
+    auto data = workload::MakeAspect(2000, aspect, 1);
+    ASSERT_EQ(data.size(), 2000u);
+    size_t horizontal = 0;
+    for (const auto& rec : data) {
+      double w = rec.rect.Extent(0);
+      double h = rec.rect.Extent(1);
+      EXPECT_NEAR(w * h, 1e-6, 1e-9);
+      double a = std::max(w, h) / std::min(w, h);
+      EXPECT_NEAR(a, aspect, aspect * 1e-6);
+      EXPECT_GE(rec.rect.lo[0], 0.0);
+      EXPECT_LE(rec.rect.hi[0], 1.0);
+      EXPECT_GE(rec.rect.lo[1], 0.0);
+      EXPECT_LE(rec.rect.hi[1], 1.0);
+      if (w > h) ++horizontal;
+    }
+    // Long side horizontal or vertical with equal probability.
+    EXPECT_GT(horizontal, data.size() / 3);
+    EXPECT_LT(horizontal, data.size() * 2 / 3);
+  }
+}
+
+TEST(SkewedDatasetTest, PointsSqueezedTowardZero) {
+  auto uniform = workload::MakeSkewed(20000, 1, 3);
+  auto skewed = workload::MakeSkewed(20000, 5, 3);
+  auto mean_y = [](const std::vector<Record2>& v) {
+    double s = 0;
+    for (const auto& r : v) s += r.rect.lo[1];
+    return s / v.size();
+  };
+  EXPECT_NEAR(mean_y(uniform), 0.5, 0.02);   // E[y] = 1/2
+  EXPECT_NEAR(mean_y(skewed), 1.0 / 6, 0.02);  // E[y^5] = 1/6
+  for (const auto& r : skewed) {
+    EXPECT_EQ(r.rect.lo[0], r.rect.hi[0]);  // points
+    EXPECT_EQ(r.rect.lo[1], r.rect.hi[1]);
+  }
+}
+
+TEST(ClusterDatasetTest, TightClustersOnHorizontalLine) {
+  auto data = workload::MakeCluster(100, 50, 5);
+  ASSERT_EQ(data.size(), 5000u);
+  for (size_t ci = 0; ci < 100; ++ci) {
+    double cx = (ci + 0.5) / 100;
+    for (size_t p = 0; p < 50; ++p) {
+      const auto& rec = data[ci * 50 + p];
+      EXPECT_NEAR(rec.rect.lo[0], cx, 1e-5);
+      EXPECT_NEAR(rec.rect.lo[1], 0.5, 1e-5);
+    }
+  }
+}
+
+TEST(WorstCaseGridTest, MatchesSection24Construction) {
+  const size_t columns = 16, rows = 4;
+  auto data = workload::MakeWorstCaseGrid(columns, rows);
+  ASSERT_EQ(data.size(), columns * rows);
+  const double n = static_cast<double>(columns * rows);
+  std::set<std::pair<double, double>> points;
+  for (const auto& rec : data) {
+    points.insert({rec.rect.lo[0], rec.rect.lo[1]});
+  }
+  EXPECT_EQ(points.size(), data.size());  // all distinct
+  // Spot-check the formula: p_{i,j} = (i + 1/2, j/B + h(i)/N).
+  for (size_t i : {size_t{0}, size_t{5}, size_t{15}}) {
+    for (size_t j : {size_t{0}, size_t{3}}) {
+      const auto& rec = data[i * rows + j];
+      EXPECT_DOUBLE_EQ(rec.rect.lo[0], i + 0.5);
+      EXPECT_DOUBLE_EQ(rec.rect.lo[1],
+                       static_cast<double>(j) / rows +
+                           static_cast<double>(workload::BitReverse(i, 4)) /
+                               n);
+    }
+  }
+  // The §2.4 gap property: no point's y lies in (j/rows - 1/N, j/rows).
+  for (const auto& rec : data) {
+    double y = rec.rect.lo[1];
+    for (int j = 1; j <= static_cast<int>(rows); ++j) {
+      double upper = static_cast<double>(j) / rows;
+      EXPECT_FALSE(y > upper - 1.0 / n && y < upper);
+    }
+  }
+}
+
+TEST(TigerLikeTest, SmallThinClusteredSegments) {
+  auto data = workload::MakeTigerLike(20000, workload::TigerRegion::kEastern,
+                                      1997);
+  ASSERT_EQ(data.size(), 20000u);
+  double total_diag = 0;
+  for (const auto& rec : data) {
+    EXPECT_GE(rec.rect.lo[0], 0.0);
+    EXPECT_LE(rec.rect.hi[0], 1.0);
+    EXPECT_GE(rec.rect.lo[1], 0.0);
+    EXPECT_LE(rec.rect.hi[1], 1.0);
+    total_diag += std::hypot(rec.rect.Extent(0), rec.rect.Extent(1));
+  }
+  // "Relatively small rectangles": mean segment length well under 1% of
+  // the extent.
+  EXPECT_LT(total_diag / data.size(), 0.005);
+
+  // "Somewhat clustered": the densest 4% of a 25x25 occupancy histogram
+  // holds far more than 4% of the segments.
+  std::vector<int> cells(25 * 25, 0);
+  for (const auto& rec : data) {
+    int cx = std::min(24, static_cast<int>(rec.rect.Center(0) * 25));
+    int cy = std::min(24, static_cast<int>(rec.rect.Center(1) * 25));
+    ++cells[cy * 25 + cx];
+  }
+  std::sort(cells.begin(), cells.end(), std::greater<int>());
+  int top = 0;
+  for (int i = 0; i < 25; ++i) top += cells[i];
+  EXPECT_GT(top, static_cast<int>(data.size()) / 5);
+}
+
+TEST(TigerLikeTest, SizeGradedPrefixesShareARegionStream) {
+  auto small = workload::MakeTigerLike(1000, workload::TigerRegion::kWestern,
+                                       1997);
+  auto large = workload::MakeTigerLike(5000, workload::TigerRegion::kWestern,
+                                       1997);
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_TRUE(small[i] == large[i]) << i;
+  }
+}
+
+TEST(SquareQueryTest, AreaAndContainment) {
+  Rect2 extent = MakeRect(2, 3, 10, 7);
+  auto queries = workload::MakeSquareQueries(extent, 0.01, 50, 9);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(extent.Contains(q));
+    EXPECT_NEAR(q.Area(), 0.01 * extent.Area(), 1e-9);
+    // Square in *fractional* side terms: side = sqrt(f) * extent side.
+    EXPECT_NEAR(q.Extent(0) / extent.Extent(0),
+                q.Extent(1) / extent.Extent(1), 1e-12);
+  }
+}
+
+TEST(SkewedQueryTest, CornersFollowDataTransform) {
+  auto queries = workload::MakeSkewedQueries(0.01, 3, 20, 13);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.lo[1], 0.0);
+    EXPECT_LE(q.hi[1], 1.0);
+    EXPECT_LT(q.lo[1], q.hi[1]);
+    // y-extent shrinks toward y=0 (derivative of y^3 vanishes at 0).
+    EXPECT_NEAR(q.Extent(0), 0.1, 1e-12);
+  }
+}
+
+TEST(StabQueryTest, SpansExtentHorizontally) {
+  Rect2 extent = MakeRect(0, 0, 1, 1);
+  auto queries = workload::MakeHorizontalStabQueries(extent, 1e-7, 0.5, 30,
+                                                     15);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.lo[0], 0.0);
+    EXPECT_EQ(q.hi[0], 1.0);
+    EXPECT_NEAR(q.Extent(1), 1e-7, 1e-15);
+    EXPECT_GT(q.lo[1], 0.2);
+    EXPECT_LT(q.hi[1], 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace prtree

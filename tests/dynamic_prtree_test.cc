@@ -1,0 +1,219 @@
+#include "core/dynamic_prtree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tests/test_util.h"
+
+namespace prtree {
+namespace {
+
+using testing_util::BruteForceQuery;
+using testing_util::RandomRects;
+using testing_util::RandomWindow;
+using testing_util::SortedIds;
+
+TEST(DynamicPrTreeTest, InsertAndQuerySmall) {
+  BlockDevice dev(4096);
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20});
+  index.Insert(Record2{MakeRect(0.1, 0.1, 0.2, 0.2), 1});
+  index.Insert(Record2{MakeRect(0.7, 0.7, 0.8, 0.8), 2});
+  EXPECT_EQ(index.size(), 2u);
+  auto res = index.QueryToVector(MakeRect(0, 0, 0.5, 0.5));
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, 1u);
+}
+
+TEST(DynamicPrTreeTest, BufferFlushCreatesLevels) {
+  BlockDevice dev(512);  // node capacity 13 -> small buffer
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 8;
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  auto data = RandomRects<2>(100, 3);
+  for (const auto& rec : data) index.Insert(rec);
+  EXPECT_GE(index.num_levels(), 1u);
+  ASSERT_TRUE(index.Validate().ok());
+  // Levels respect their geometric capacities.
+  auto sizes = index.LevelSizes();
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i], opts.buffer_capacity << (i + 1));
+  }
+  EXPECT_EQ(SortedIds(index.QueryToVector(MakeRect(-1, -1, 2, 2))),
+            BruteForceQuery(data, MakeRect(-1, -1, 2, 2)));
+}
+
+TEST(DynamicPrTreeTest, DeleteFromBufferAndLevels) {
+  BlockDevice dev(512);
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 16;
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  auto data = RandomRects<2>(200, 5);
+  for (const auto& rec : data) index.Insert(rec);
+  // Delete odd ids (some in the buffer, most in levels).
+  std::vector<Record2> kept;
+  for (const auto& rec : data) {
+    if (rec.id % 2) {
+      EXPECT_TRUE(index.Delete(rec));
+    } else {
+      kept.push_back(rec);
+    }
+  }
+  EXPECT_EQ(index.size(), kept.size());
+  Rect2 all = MakeRect(-1, -1, 2, 2);
+  EXPECT_EQ(SortedIds(index.QueryToVector(all)), BruteForceQuery(kept, all));
+  EXPECT_FALSE(index.Delete(data[1]));  // already gone
+}
+
+TEST(DynamicPrTreeTest, DeleteMissingReturnsFalse) {
+  BlockDevice dev(4096);
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20});
+  EXPECT_FALSE(index.Delete(Record2{MakeRect(0, 0, 1, 1), 9}));
+  index.Insert(Record2{MakeRect(0.2, 0.2, 0.3, 0.3), 9});
+  // Wrong rectangle, right id.
+  EXPECT_FALSE(index.Delete(Record2{MakeRect(0.2, 0.2, 0.35, 0.3), 9}));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(DynamicPrTreeTest, ReinsertAfterDeleteCancelsTombstone) {
+  BlockDevice dev(512);
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 4;
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  auto data = RandomRects<2>(50, 7);
+  for (const auto& rec : data) index.Insert(rec);
+  // Force the target record out of the buffer and delete it.
+  Record2 victim = data[10];
+  ASSERT_TRUE(index.Delete(victim));
+  EXPECT_EQ(index.tombstones(), 1u);
+  index.Insert(victim);
+  EXPECT_EQ(index.tombstones(), 0u);
+  EXPECT_EQ(index.size(), data.size());
+  auto res = index.QueryToVector(victim.rect);
+  bool found = false;
+  for (const auto& r : res) {
+    if (r.id == victim.id) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DynamicPrTreeTest, MassDeletionTriggersGlobalRebuild) {
+  BlockDevice dev(512);
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 16;
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  auto data = RandomRects<2>(500, 9);
+  for (const auto& rec : data) index.Insert(rec);
+  for (size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(index.Delete(data[i]));
+  }
+  // Tombstones never exceed live records.
+  EXPECT_LE(index.tombstones(), index.size());
+  EXPECT_EQ(index.size(), 100u);
+  std::vector<Record2> kept(data.begin() + 400, data.end());
+  Rect2 all = MakeRect(-1, -1, 2, 2);
+  EXPECT_EQ(SortedIds(index.QueryToVector(all)), BruteForceQuery(kept, all));
+  ASSERT_TRUE(index.Validate().ok());
+}
+
+TEST(DynamicPrTreeTest, DeleteEverything) {
+  BlockDevice dev(512);
+  size_t baseline = dev.num_allocated();
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 8;
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  auto data = RandomRects<2>(300, 11);
+  for (const auto& rec : data) index.Insert(rec);
+  for (const auto& rec : data) ASSERT_TRUE(index.Delete(rec));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.QueryToVector(MakeRect(-1, -1, 2, 2)).empty());
+  // The global rebuild reclaims all blocks once everything is gone.
+  EXPECT_EQ(dev.num_allocated(), baseline);
+}
+
+TEST(DynamicPrTreeTest, MoveSameIdRepeatedly) {
+  // Regression: the moving-objects pattern — delete id, re-insert it at a
+  // new position, delete it again.  A tombstone keyed by id alone would
+  // block the second delete.
+  BlockDevice dev(512);
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 4;  // force records out of the buffer quickly
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  Rng rng(17);
+  std::vector<Record2> pos(50);
+  for (DataId id = 0; id < 50; ++id) {
+    double x = rng.Uniform(0, 1), y = rng.Uniform(0, 1);
+    pos[id] = Record2{MakeRect(x, y, x, y), id};
+    index.Insert(pos[id]);
+  }
+  for (int step = 0; step < 500; ++step) {
+    DataId id = static_cast<DataId>(rng.UniformInt(0, 49));
+    ASSERT_TRUE(index.Delete(pos[id])) << "step " << step;
+    double x = rng.Uniform(0, 1), y = rng.Uniform(0, 1);
+    pos[id] = Record2{MakeRect(x, y, x, y), id};
+    index.Insert(pos[id]);
+    ASSERT_EQ(index.size(), 50u);
+  }
+  auto res = index.QueryToVector(MakeRect(-1, -1, 2, 2));
+  EXPECT_EQ(SortedIds(res).size(), 50u);
+}
+
+class DynamicFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicFuzzTest, AgreesWithModelUnderMixedWorkload) {
+  BlockDevice dev(512);
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 13;
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  Rng rng(GetParam());
+  std::map<DataId, Record2> model;
+  DataId next_id = 0;
+
+  for (int step = 0; step < 2500; ++step) {
+    double dice = rng.Uniform(0, 1);
+    if (dice < 0.5 || model.empty()) {
+      Record2 rec;
+      double side = rng.Uniform(0, 0.05);
+      rec.rect.lo[0] = rng.Uniform(0, 1 - side);
+      rec.rect.lo[1] = rng.Uniform(0, 1 - side);
+      rec.rect.hi[0] = rec.rect.lo[0] + side;
+      rec.rect.hi[1] = rec.rect.lo[1] + side;
+      rec.id = next_id++;
+      model[rec.id] = rec;
+      index.Insert(rec);
+    } else if (dice < 0.8) {
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(0, model.size() - 1));
+      EXPECT_TRUE(index.Delete(it->second)) << "step " << step;
+      model.erase(it);
+    } else {
+      Rect2 w = RandomWindow<2>(&rng, 0.3);
+      std::vector<Record2> expect;
+      for (const auto& [id, rec] : model) {
+        if (rec.rect.Intersects(w)) expect.push_back(rec);
+      }
+      auto got = SortedIds(index.QueryToVector(w));
+      ASSERT_EQ(got, SortedIds(expect)) << "step " << step;
+    }
+    ASSERT_EQ(index.size(), model.size());
+  }
+  ASSERT_TRUE(index.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicFuzzTest,
+                         ::testing::Values(1, 23, 4096));
+
+TEST(DynamicPrTreeTest, QueryStatsAggregateAcrossLevels) {
+  BlockDevice dev(512);
+  DynamicPrTreeOptions opts;
+  opts.buffer_capacity = 8;
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
+  auto data = RandomRects<2>(400, 13);
+  for (const auto& rec : data) index.Insert(rec);
+  QueryStats qs = index.Query(MakeRect(-1, -1, 2, 2), [](const Record2&) {});
+  EXPECT_EQ(qs.results, 400u);
+  EXPECT_GT(qs.leaves_visited, 0u);
+}
+
+}  // namespace
+}  // namespace prtree

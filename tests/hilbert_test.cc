@@ -1,0 +1,180 @@
+#include "geom/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace prtree {
+namespace {
+
+// The classic first-order 2-D Hilbert curve visits (0,0),(0,1),(1,1),(1,0)
+// in index order 0..3 (up to the curve's fixed orientation convention:
+// Skilling's curve starts along the first axis; what matters for an R-tree
+// sort key is that adjacent indices are adjacent cells).
+TEST(HilbertTest, FirstOrderCurveIsAHamiltonianPath) {
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> by_index;
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      by_index[HilbertIndex2(x, y, 1)] = {x, y};
+    }
+  }
+  ASSERT_EQ(by_index.size(), 4u);
+  EXPECT_EQ(by_index.begin()->first, 0u);
+  EXPECT_EQ(by_index.rbegin()->first, 3u);
+  // Consecutive cells along the curve are grid neighbours.
+  auto it = by_index.begin();
+  auto prev = it++;
+  for (; it != by_index.end(); ++it, ++prev) {
+    uint32_t dx = it->second.first > prev->second.first
+                      ? it->second.first - prev->second.first
+                      : prev->second.first - it->second.first;
+    uint32_t dy = it->second.second > prev->second.second
+                      ? it->second.second - prev->second.second
+                      : prev->second.second - it->second.second;
+    EXPECT_EQ(dx + dy, 1u);
+  }
+}
+
+class HilbertBijectionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HilbertBijectionTest, IndexIsBijectiveAndInvertible) {
+  auto [n, bits] = GetParam();
+  uint64_t side = 1ull << bits;
+  uint64_t total = 1;
+  for (int i = 0; i < n; ++i) total *= side;
+  ASSERT_LE(total, 1ull << 16) << "test grid too large";
+
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  std::vector<uint32_t> coords(n, 0);
+  for (uint64_t cell = 0; cell < total; ++cell) {
+    uint64_t rem = cell;
+    for (int i = 0; i < n; ++i) {
+      coords[i] = static_cast<uint32_t>(rem % side);
+      rem /= side;
+    }
+    HilbertKey key = HilbertIndex(coords.data(), n, bits);
+    EXPECT_TRUE(seen.insert({key.hi, key.lo}).second)
+        << "duplicate key for cell " << cell;
+    // Index must be < total (fits the grid).
+    if (total <= (1ull << 63)) {
+      EXPECT_EQ(key.hi, 0u);
+      EXPECT_LT(key.lo, total);
+    }
+    // Round-trip through the inverse.
+    std::vector<uint32_t> back(n, 0xFFFFFFFFu);
+    HilbertInverse(key, back.data(), n, bits);
+    EXPECT_EQ(back, coords);
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, HilbertBijectionTest,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(2, 2),
+                      std::make_tuple(2, 4), std::make_tuple(2, 6),
+                      std::make_tuple(3, 2), std::make_tuple(3, 4),
+                      std::make_tuple(4, 2), std::make_tuple(4, 3),
+                      std::make_tuple(5, 2), std::make_tuple(6, 2)));
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbours4D) {
+  // The Hilbert curve property in the dimension the 4-D Hilbert R-tree
+  // uses: walk the whole 4-D curve on a 2^2 grid and check unit steps.
+  const int n = 4, bits = 2;
+  const uint64_t total = 1ull << (n * bits);
+  std::vector<uint32_t> prev(n), cur(n);
+  for (uint64_t idx = 0; idx < total; ++idx) {
+    HilbertKey key{0, idx};
+    HilbertInverse(key, cur.data(), n, bits);
+    if (idx > 0) {
+      uint32_t dist = 0;
+      for (int i = 0; i < n; ++i) {
+        dist += cur[i] > prev[i] ? cur[i] - prev[i] : prev[i] - cur[i];
+      }
+      EXPECT_EQ(dist, 1u) << "discontinuity at index " << idx;
+    }
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, LargeBitDepthKeysAreDistinctAndOrdered) {
+  // 31-bit 2-D keys (the packed-Hilbert sort key depth).
+  uint64_t a = HilbertIndex2(0, 0, 31);
+  uint64_t b = HilbertIndex2((1u << 31) - 1, (1u << 31) - 1, 31);
+  uint64_t c = HilbertIndex2(12345, 678910, 31);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(HilbertTest, HilbertKeyOrdering) {
+  HilbertKey a{0, 5};
+  HilbertKey b{0, 7};
+  HilbertKey c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (HilbertKey{0, 5}));
+}
+
+TEST(GridCoordTest, MapsRangeOntoGrid) {
+  EXPECT_EQ(GridCoord(0.0, 0.0, 1.0, 4), 0u);
+  EXPECT_EQ(GridCoord(1.0, 0.0, 1.0, 4), 15u);   // hi clamps to last cell
+  EXPECT_EQ(GridCoord(0.5, 0.0, 1.0, 4), 8u);
+  EXPECT_EQ(GridCoord(-3.0, 0.0, 1.0, 4), 0u);   // clamped below
+  EXPECT_EQ(GridCoord(9.0, 0.0, 1.0, 4), 15u);   // clamped above
+  EXPECT_EQ(GridCoord(0.7, 0.7, 0.7, 4), 0u);    // degenerate range
+}
+
+TEST(GridCoordTest, MonotoneInValue) {
+  uint32_t prev = 0;
+  for (int i = 0; i <= 100; ++i) {
+    uint32_t g = GridCoord(i / 100.0, 0.0, 1.0, 10);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+  EXPECT_EQ(prev, (1u << 10) - 1);
+}
+
+TEST(HilbertKeysTest, CenterKeyGroupsNearbyRects) {
+  Rect2 extent = MakeRect(0, 0, 1, 1);
+  // Two rectangles with nearly identical centres get closer keys than a
+  // far-away one (sanity, not a strict locality proof).
+  HilbertKey near1 = HilbertCenterKey(MakeRect(0.10, 0.10, 0.11, 0.11), extent);
+  HilbertKey near2 = HilbertCenterKey(MakeRect(0.10, 0.11, 0.11, 0.12), extent);
+  HilbertKey far = HilbertCenterKey(MakeRect(0.90, 0.90, 0.91, 0.91), extent);
+  auto dist = [](const HilbertKey& a, const HilbertKey& b) {
+    return a.lo > b.lo ? a.lo - b.lo : b.lo - a.lo;  // hi is 0 at 31 bits
+  };
+  EXPECT_LT(dist(near1, near2), dist(near1, far));
+}
+
+TEST(HilbertKeysTest, CornerKeyDistinguishesExtent) {
+  // Same centre, different extent: the 4-D key must differ (the 2-D centre
+  // key cannot see the difference — that is the H vs H4 distinction, §1.1).
+  Rect2 extent = MakeRect(0, 0, 1, 1);
+  Rect2 small = MakeRect(0.49, 0.49, 0.51, 0.51);
+  Rect2 large = MakeRect(0.30, 0.30, 0.70, 0.70);
+  EXPECT_EQ(HilbertCenterKey(small, extent), HilbertCenterKey(large, extent));
+  EXPECT_FALSE(HilbertCornerKey(small, extent) ==
+               HilbertCornerKey(large, extent));
+}
+
+TEST(HilbertKeysTest, CornerKeyWorksFor3D) {
+  Rect<3> extent;
+  extent.lo = {0, 0, 0};
+  extent.hi = {1, 1, 1};
+  Rect<3> a;
+  a.lo = {0.1, 0.2, 0.3};
+  a.hi = {0.2, 0.3, 0.4};
+  Rect<3> b = a;
+  b.hi[2] = 0.9;
+  EXPECT_FALSE(HilbertCornerKey<3>(a, extent) ==
+               HilbertCornerKey<3>(b, extent));
+}
+
+}  // namespace
+}  // namespace prtree

@@ -1,0 +1,169 @@
+#include "rtree/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "core/prtree.h"
+#include "rtree/update.h"
+#include "rtree/validate.h"
+#include "tests/test_util.h"
+
+namespace prtree {
+namespace {
+
+using testing_util::BruteForceQuery;
+using testing_util::RandomRects;
+using testing_util::RandomWindow;
+using testing_util::SortedIds;
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/prtree_snapshot_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PersistTest, RoundTripPreservesEverything) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(5000, 7);
+  RTree<2> tree(&dev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
+  ASSERT_TRUE(SaveTree(tree, path_).ok());
+
+  // Load onto a completely different device with prior allocations (so
+  // page ids cannot possibly coincide).
+  BlockDevice dev2(512);
+  for (int i = 0; i < 37; ++i) dev2.Allocate();
+  RTree<2> loaded(&dev2);
+  ASSERT_TRUE(LoadTree(path_, &loaded).ok());
+
+  EXPECT_EQ(loaded.size(), tree.size());
+  EXPECT_EQ(loaded.height(), tree.height());
+  ASSERT_TRUE(ValidateTree(loaded).ok());
+
+  auto a = DumpRecords(tree);
+  auto b = DumpRecords(loaded);
+  CanonicalSort(&a);
+  CanonicalSort(&b);
+  EXPECT_TRUE(a == b);
+
+  Rng rng(11);
+  for (int q = 0; q < 20; ++q) {
+    Rect2 w = RandomWindow<2>(&rng, 0.2);
+    EXPECT_EQ(SortedIds(loaded.QueryToVector(w)),
+              SortedIds(tree.QueryToVector(w)));
+  }
+}
+
+TEST_F(PersistTest, LoadedTreeRemainsUpdatable) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(1000, 13);
+  RTree<2> tree(&dev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
+  ASSERT_TRUE(SaveTree(tree, path_).ok());
+
+  BlockDevice dev2(512);
+  RTree<2> loaded(&dev2);
+  ASSERT_TRUE(LoadTree(path_, &loaded).ok());
+  RTreeUpdater<2> upd(&loaded);
+  auto extra = RandomRects<2>(500, 17);
+  for (auto rec : extra) {
+    rec.id += 1000000;
+    upd.Insert(rec);
+  }
+  EXPECT_EQ(loaded.size(), 1500u);
+  ValidateOptions opts;
+  opts.min_entries = 1;
+  ASSERT_TRUE(ValidateTree(loaded, opts).ok());
+}
+
+TEST_F(PersistTest, SingleLeafTree) {
+  BlockDevice dev(4096);
+  auto data = RandomRects<2>(5, 19);
+  RTree<2> tree(&dev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 1u << 20}, data, &tree));
+  ASSERT_EQ(tree.height(), 0);
+  ASSERT_TRUE(SaveTree(tree, path_).ok());
+  BlockDevice dev2(4096);
+  RTree<2> loaded(&dev2);
+  ASSERT_TRUE(LoadTree(path_, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 5u);
+  EXPECT_EQ(SortedIds(loaded.QueryToVector(MakeRect(-1, -1, 2, 2))),
+            SortedIds(tree.QueryToVector(MakeRect(-1, -1, 2, 2))));
+}
+
+TEST_F(PersistTest, RejectsEmptyTreeAndBadTargets) {
+  BlockDevice dev(4096);
+  RTree<2> empty(&dev);
+  EXPECT_FALSE(SaveTree(empty, path_).ok());
+
+  auto data = RandomRects<2>(100, 23);
+  RTree<2> tree(&dev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 1u << 20}, data, &tree));
+  ASSERT_TRUE(SaveTree(tree, path_).ok());
+
+  // Non-empty output tree.
+  EXPECT_FALSE(LoadTree(path_, &tree).ok());
+  // Block size mismatch.
+  BlockDevice dev512(512);
+  RTree<2> t512(&dev512);
+  Status st = LoadTree(path_, &t512);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Dimension mismatch.
+  BlockDevice dev3(4096);
+  RTree<3> t3(&dev3);
+  EXPECT_FALSE(LoadTree(path_, &t3).ok());
+  // Missing file.
+  BlockDevice dev4(4096);
+  RTree<2> t4(&dev4);
+  EXPECT_FALSE(LoadTree("/nonexistent/prtree.bin", &t4).ok());
+}
+
+TEST_F(PersistTest, DetectsTruncationAndCorruption) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(2000, 29);
+  RTree<2> tree(&dev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
+  ASSERT_TRUE(SaveTree(tree, path_).ok());
+
+  // Truncate the file.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
+  }
+  BlockDevice dev2(512);
+  size_t baseline = dev2.num_allocated();
+  RTree<2> loaded(&dev2);
+  Status st = LoadTree(path_, &loaded);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  // No leaked pages after the failed load.
+  EXPECT_EQ(dev2.num_allocated(), baseline);
+
+  // Corrupt the magic.
+  ASSERT_TRUE(SaveTree(tree, path_).ok());
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    uint32_t junk = 0xDEADBEEF;
+    std::fwrite(&junk, sizeof(junk), 1, f);
+    std::fclose(f);
+  }
+  BlockDevice dev3(512);
+  RTree<2> loaded3(&dev3);
+  EXPECT_EQ(LoadTree(path_, &loaded3).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace prtree

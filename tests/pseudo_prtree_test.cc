@@ -1,0 +1,210 @@
+#include "core/pseudo_prtree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "rtree/validate.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace prtree {
+namespace {
+
+using testing_util::BruteForceQuery;
+using testing_util::RandomRects;
+using testing_util::RandomWindow;
+using testing_util::SortedIds;
+
+// Replays the chunk stream and checks the §2.1 structural definition.
+template <int D>
+void CheckChunkInvariants(const std::vector<Record<D>>& records,
+                          const std::vector<PseudoLeafChunk>& chunks,
+                          size_t b) {
+  constexpr int K = 2 * D;
+  // 1. Chunks tile [0, n) without gaps or overlaps (DFS order).
+  size_t covered = 0;
+  std::map<size_t, size_t> ranges;
+  for (const auto& c : chunks) {
+    EXPECT_GE(c.count, 1u);
+    EXPECT_LE(c.count, b);
+    EXPECT_TRUE(ranges.emplace(c.offset, c.count).second);
+    covered += c.count;
+  }
+  EXPECT_EQ(covered, records.size());
+  size_t expect_next = 0;
+  for (const auto& [off, cnt] : ranges) {
+    EXPECT_EQ(off, expect_next);
+    expect_next = off + cnt;
+  }
+
+  // 2. Priority-leaf extremeness: every record of a priority chunk in
+  // direction c is at least as extreme as every record later in the same
+  // pseudo-node subtree.
+  for (const auto& c : chunks) {
+    if (c.dir == kPlainLeaf) continue;
+    ASSERT_GE(c.dir, 0);
+    ASSERT_LT(c.dir, K);
+    ExtremeLess<D> less{c.dir};
+    // Least extreme member of the chunk.
+    const Record<D>* least = &records[c.offset];
+    for (size_t i = c.offset; i < c.offset + c.count; ++i) {
+      if (less(*least, records[i])) least = &records[i];
+    }
+    for (size_t i = c.offset + c.count; i < c.subtree_end; ++i) {
+      EXPECT_FALSE(less(records[i], *least))
+          << "record " << i << " more extreme than priority leaf dir "
+          << c.dir;
+    }
+  }
+}
+
+class PseudoBuilderTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(PseudoBuilderTest, LeafChunksSatisfyDefinition) {
+  auto [n, b] = GetParam();
+  auto records = RandomRects<2>(n, 1000 + n + b);
+  PseudoPRTreeBuilder<2> builder(b);
+  std::vector<PseudoLeafChunk> chunks;
+  builder.EmitLeaves(&records,
+                     [&](const PseudoLeafChunk& c) { chunks.push_back(c); });
+  CheckChunkInvariants<2>(records, chunks, b);
+
+  // Packing: all leaves hold >= max(1, b/4) records (§2.1 footnote 2 and
+  // the "slightly smaller priority leaves" remark), and utilisation is
+  // near-optimal: at most one underfull leaf per kd split path.
+  size_t full = 0;
+  for (const auto& c : chunks) {
+    if (chunks.size() > 1) {
+      EXPECT_GE(4 * c.count + 3, b);  // count >= ceil(b/4) - rounding slack
+    }
+    if (c.count == b) ++full;
+  }
+  if (n >= 20 * b) {
+    EXPECT_GE(static_cast<double>(full) / chunks.size(), 0.75);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PseudoBuilderTest,
+    ::testing::Combine(::testing::Values(1, 7, 8, 9, 63, 64, 100, 1000,
+                                         20000),
+                       ::testing::Values(size_t{8}, size_t{113})));
+
+TEST(PseudoBuilderTest, ThreeDimensionalChunks) {
+  auto records = RandomRects<3>(5000, 77);
+  PseudoPRTreeBuilder<3> builder(78);
+  std::vector<PseudoLeafChunk> chunks;
+  builder.EmitLeaves(&records,
+                     [&](const PseudoLeafChunk& c) { chunks.push_back(c); });
+  CheckChunkInvariants<3>(records, chunks, 78);
+}
+
+TEST(PseudoBuilderTest, NearFullUtilizationOnLargeInput) {
+  auto records = RandomRects<2>(100000, 3);
+  PseudoPRTreeBuilder<2> builder(113);
+  size_t leaves = 0;
+  builder.EmitLeaves(&records, [&](const PseudoLeafChunk& c) {
+    (void)c;
+    ++leaves;
+  });
+  // >= 99% utilisation, matching §3.3.
+  double util = static_cast<double>(records.size()) /
+                (static_cast<double>(leaves) * 113.0);
+  EXPECT_GT(util, 0.99);
+}
+
+TEST(PseudoBuilderTest, DuplicateCoordinatesHandledByIdTieBreak) {
+  // All rectangles identical: selection must still be deterministic and
+  // tile the input exactly.
+  std::vector<Record2> records(1000, Record2{MakeRect(0.4, 0.4, 0.6, 0.6), 0});
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i].id = static_cast<DataId>(i);
+  }
+  PseudoPRTreeBuilder<2> builder(16);
+  std::vector<PseudoLeafChunk> chunks;
+  builder.EmitLeaves(&records,
+                     [&](const PseudoLeafChunk& c) { chunks.push_back(c); });
+  CheckChunkInvariants<2>(records, chunks, 16);
+}
+
+TEST(PseudoIndexTest, QueryableIndexMatchesBruteForce) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(5000, 11);
+  auto copy = data;
+  RTree<2> tree(&dev);
+  BuildPseudoPRTreeIndex<2>(&copy, &tree);
+  EXPECT_EQ(tree.size(), data.size());
+
+  // Structure is not height-balanced; validate MBRs only.
+  ValidateOptions opts;
+  opts.check_balance = false;
+  ASSERT_TRUE(ValidateTree(tree, opts).ok());
+
+  Rng rng(13);
+  for (int q = 0; q < 40; ++q) {
+    Rect2 w = RandomWindow<2>(&rng, q % 2 ? 0.3 : 0.05);
+    EXPECT_EQ(SortedIds(tree.QueryToVector(w)), BruteForceQuery(data, w));
+  }
+}
+
+TEST(PseudoIndexTest, InternalDegreeAtMostSix) {
+  // §2.1: internal nodes have degree six (2D priority leaves + 2 subtrees).
+  BlockDevice dev(4096);
+  auto data = RandomRects<2>(30000, 17);
+  RTree<2> tree(&dev);
+  BuildPseudoPRTreeIndex<2>(&data, &tree);
+
+  std::vector<std::byte> buf(4096);
+  std::vector<PageId> stack{tree.root()};
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    ASSERT_TRUE(dev.Read(page, buf.data()).ok());
+    NodeView<2> node(buf.data(), 4096);
+    if (node.is_leaf()) continue;
+    EXPECT_LE(node.count(), 6);
+    EXPECT_GE(node.count(), 2);
+    for (int i = 0; i < node.count(); ++i) stack.push_back(node.GetId(i));
+  }
+}
+
+TEST(PseudoIndexTest, OccupiesLinearSpace) {
+  // Lemma 1: O(N/B) blocks.
+  BlockDevice dev(4096);
+  size_t baseline = dev.num_allocated();
+  auto data = RandomRects<2>(50000, 19);
+  RTree<2> tree(&dev);
+  BuildPseudoPRTreeIndex<2>(&data, &tree);
+  size_t blocks = dev.num_allocated() - baseline;
+  size_t min_leaves = (data.size() + 112) / 113;
+  // Leaves plus internals: internals are at most ~1/4 of leaves (degree>=4
+  // effective); allow 1.6x slack.
+  EXPECT_LE(blocks, min_leaves * 8 / 5 + 4);
+}
+
+// Lemma 2 shape check on the pseudo-PR-tree itself: an empty-result line
+// query over the §2.4 grid visits O(sqrt(N/B)) nodes.
+TEST(PseudoIndexTest, EmptyQueryVisitsFewNodesOnWorstCaseGrid) {
+  BlockDevice dev(512);  // B = 13
+  const size_t b = NodeCapacity<2>(512);
+  auto data = workload::MakeWorstCaseGrid(256, b);
+  const size_t n = data.size();
+  RTree<2> tree(&dev);
+  BuildPseudoPRTreeIndex<2>(&data, &tree);
+
+  // Horizontal line between rows (§2.4): no point has y in
+  // (j/rows - 1/n, j/rows).
+  double y = 6.0 / static_cast<double>(b) - 0.5 / static_cast<double>(n);
+  Rect2 line = MakeRect(-1, y, 1e9, y);
+  QueryStats qs = tree.Query(line, [](const Record2&) {});
+  EXPECT_EQ(qs.results, 0u);
+  double bound = std::sqrt(static_cast<double>(n) / static_cast<double>(b));
+  EXPECT_LE(qs.nodes_visited, static_cast<uint64_t>(14 * bound) + 16)
+      << "n=" << n << " sqrt(N/B)=" << bound;
+}
+
+}  // namespace
+}  // namespace prtree

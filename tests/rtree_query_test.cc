@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtree/builder.h"
+#include "rtree/rtree.h"
+#include "rtree/validate.h"
+#include "tests/test_util.h"
+
+namespace prtree {
+namespace {
+
+using testing_util::BruteForceQuery;
+using testing_util::RandomRects;
+using testing_util::RandomWindow;
+using testing_util::SortedIds;
+
+// Builds an (unoptimised) R-tree by packing records in input order; query
+// correctness must hold for any packing.
+template <int D>
+RTree<D> PackInOrder(BlockDevice* dev, const std::vector<Record<D>>& data) {
+  RTree<D> tree(dev);
+  NodeWriter<D> writer(dev, 0);
+  for (const auto& rec : data) writer.Add(rec.rect, rec.id);
+  PackUpward(&tree, writer.Finish(), data.size());
+  return tree;
+}
+
+TEST(RTreeQueryTest, EmptyTree) {
+  BlockDevice dev(4096);
+  RTree<2> tree(&dev);
+  EXPECT_TRUE(tree.empty());
+  auto res = tree.QueryToVector(MakeRect(0, 0, 1, 1));
+  EXPECT_TRUE(res.empty());
+  EXPECT_TRUE(tree.Mbr().IsEmpty());
+}
+
+TEST(RTreeQueryTest, PointQueryFindsExactRecord) {
+  BlockDevice dev(4096);
+  auto data = RandomRects<2>(500, 31);
+  auto tree = PackInOrder(&dev, data);
+  const auto& target = data[123];
+  auto res = tree.QueryToVector(target.rect);
+  bool found = false;
+  for (const auto& r : res) {
+    if (r.id == target.id && r.rect == target.rect) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RTreeQueryTest, WholeExtentReturnsEverything) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(2000, 37);
+  auto tree = PackInOrder(&dev, data);
+  Rect2 all = MakeRect(-1, -1, 2, 2);
+  QueryStats qs = tree.Query(all, [](const Record2&) {});
+  EXPECT_EQ(qs.results, 2000u);
+  TreeStats ts = tree.ComputeStats();
+  EXPECT_EQ(qs.leaves_visited, ts.num_leaves);
+  EXPECT_EQ(qs.nodes_visited, ts.num_nodes);
+}
+
+TEST(RTreeQueryTest, DisjointWindowReturnsNothing) {
+  BlockDevice dev(4096);
+  auto data = RandomRects<2>(500, 41);
+  auto tree = PackInOrder(&dev, data);
+  auto res = tree.QueryToVector(MakeRect(5, 5, 6, 6));
+  EXPECT_TRUE(res.empty());
+}
+
+class QueryCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(QueryCorrectnessTest, MatchesBruteForce) {
+  auto [n, block_size, seed] = GetParam();
+  BlockDevice dev(block_size);
+  auto data = RandomRects<2>(n, seed);
+  auto tree = PackInOrder(&dev, data);
+  ASSERT_TRUE(ValidateTree(tree).ok());
+
+  Rng rng(seed * 31 + 7);
+  for (int q = 0; q < 50; ++q) {
+    Rect2 w = RandomWindow<2>(&rng, q % 2 ? 0.3 : 0.05);
+    auto got = SortedIds(tree.QueryToVector(w));
+    auto expect = BruteForceQuery(data, w);
+    EXPECT_EQ(got, expect) << "window " << w.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryCorrectnessTest,
+    ::testing::Combine(::testing::Values(1, 50, 113, 114, 1000, 5000),
+                       ::testing::Values(512, 4096),
+                       ::testing::Values(1, 99)));
+
+TEST(RTreeQueryTest, QueryThroughBufferPoolIsEquivalent) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(3000, 43);
+  auto tree = PackInOrder(&dev, data);
+  BufferPool pool(&dev, 1024);
+  tree.CacheInternalNodes(&pool);
+
+  Rng rng(17);
+  for (int q = 0; q < 25; ++q) {
+    Rect2 w = RandomWindow<2>(&rng, 0.2);
+    auto with_pool = SortedIds(tree.QueryToVector(w, &pool));
+    auto without = SortedIds(tree.QueryToVector(w));
+    EXPECT_EQ(with_pool, without);
+  }
+}
+
+TEST(RTreeQueryTest, CachedInternalNodesMakeQueriesLeafOnly) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(3000, 47);
+  auto tree = PackInOrder(&dev, data);
+  BufferPool pool(&dev, 4096);
+  tree.CacheInternalNodes(&pool);
+  dev.ResetStats();
+  pool.ResetCounters();
+
+  Rect2 w = MakeRect(0.4, 0.4, 0.6, 0.6);
+  QueryStats qs = tree.Query(w, [](const Record2&) {}, &pool);
+  // §3.3: with internal nodes cached, device reads == leaves visited.
+  EXPECT_EQ(dev.stats().reads, qs.leaves_visited);
+  EXPECT_EQ(pool.hits(), qs.internal_visited);
+}
+
+TEST(RTreeQueryTest, StatsCountNodesByKind) {
+  BlockDevice dev(512);
+  auto data = RandomRects<2>(2000, 53);
+  auto tree = PackInOrder(&dev, data);
+  QueryStats qs = tree.Query(MakeRect(-1, -1, 2, 2), [](const Record2&) {});
+  EXPECT_EQ(qs.nodes_visited, qs.leaves_visited + qs.internal_visited);
+  EXPECT_GT(qs.internal_visited, 0u);
+}
+
+TEST(RTreeQueryTest, ThreeDimensionalQueries) {
+  BlockDevice dev(4096);
+  auto data = RandomRects<3>(2000, 59);
+  RTree<3> tree(&dev);
+  NodeWriter<3> writer(&dev, 0);
+  for (const auto& rec : data) writer.Add(rec.rect, rec.id);
+  PackUpward(&tree, writer.Finish(), data.size());
+  ASSERT_TRUE(ValidateTree(tree).ok());
+
+  Rng rng(61);
+  for (int q = 0; q < 20; ++q) {
+    Rect<3> w = RandomWindow<3>(&rng, 0.4);
+    auto got = SortedIds(tree.QueryToVector(w));
+    auto expect = BruteForceQuery(data, w);
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(RTreeQueryTest, FreeAllReleasesEveryBlock) {
+  BlockDevice dev(512);
+  size_t before = dev.num_allocated();
+  auto data = RandomRects<2>(2000, 67);
+  auto tree = PackInOrder(&dev, data);
+  EXPECT_GT(dev.num_allocated(), before);
+  tree.FreeAll();
+  EXPECT_EQ(dev.num_allocated(), before);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(ValidateTest, DetectsCorruptedMbr) {
+  BlockDevice dev(4096);
+  auto data = RandomRects<2>(500, 71);
+  auto tree = PackInOrder(&dev, data);
+  ASSERT_GE(tree.height(), 1);
+  // Corrupt the root: shrink the first child MBR so it no longer covers the
+  // subtree.
+  std::vector<std::byte> buf(4096);
+  ASSERT_TRUE(dev.Read(tree.root(), buf.data()).ok());
+  NodeView<2> root(buf.data(), buf.size());
+  Rect2 r = root.GetRect(0);
+  r.hi[0] = r.lo[0];  // collapse
+  r.hi[1] = r.lo[1];
+  root.SetEntry(0, r, root.GetId(0));
+  ASSERT_TRUE(dev.Write(tree.root(), buf.data()).ok());
+  Status st = ValidateTree(tree);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateTest, DetectsWrongRecordCount) {
+  BlockDevice dev(4096);
+  auto data = RandomRects<2>(100, 73);
+  auto tree = PackInOrder(&dev, data);
+  tree.set_size(99);
+  EXPECT_FALSE(ValidateTree(tree).ok());
+}
+
+}  // namespace
+}  // namespace prtree

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace prtree {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad n");
+  EXPECT_EQ(err.message(), "bad n");
+
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::CapacityExceeded("x").code(),
+            StatusCode::kCapacityExceeded);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+}
+
+Status FailsThrough() {
+  PRTREE_RETURN_NOT_OK(Status::IoError("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  Status st = FailsThrough();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "inner");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TablePrinterTest, AlignedOutput) {
+  TablePrinter t({"name", "count"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "12345"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name      | count"), std::string::npos);
+  EXPECT_NE(s.find("a         | 1"), std::string::npos);
+  EXPECT_NE(s.find("long-name | 12345"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FmtCount(0), "0");
+  EXPECT_EQ(TablePrinter::FmtCount(999), "999");
+  EXPECT_EQ(TablePrinter::FmtCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FmtCount(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::FmtPercent(97.25), "97.2%");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double first = t.Seconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  EXPECT_GE(t.Seconds(), first);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+TEST(HarnessTest, VariantNamesAndOrder) {
+  using harness::Variant;
+  EXPECT_STREQ(harness::VariantName(Variant::kPrTree), "PR");
+  EXPECT_STREQ(harness::VariantName(Variant::kHilbert), "H");
+  EXPECT_STREQ(harness::VariantName(Variant::kHilbert4D), "H4");
+  EXPECT_STREQ(harness::VariantName(Variant::kTgs), "TGS");
+  EXPECT_STREQ(harness::VariantName(Variant::kStr), "STR");
+  auto variants = harness::PaperVariants();
+  ASSERT_EQ(variants.size(), 4u);
+  EXPECT_EQ(variants[0], Variant::kTgs);  // paper presentation order
+}
+
+TEST(HarnessTest, ScaledMemoryBudget) {
+  // ~9:1 data:memory with a 2 MB floor.
+  EXPECT_EQ(harness::ScaledMemoryBudget(100), 2u << 20);
+  size_t big = harness::ScaledMemoryBudget(10'000'000);
+  EXPECT_NEAR(static_cast<double>(big),
+              10'000'000.0 * sizeof(Record2) / 9, 1.0);
+}
+
+TEST(HarnessTest, BuildAndMeasureEndToEnd) {
+  auto data = workload::MakeSize(5000, 0.01, 3);
+  harness::BuiltIndex index =
+      harness::BuildIndex(harness::Variant::kPrTree, data);
+  EXPECT_EQ(index.tree->size(), data.size());
+  EXPECT_GT(index.build_io.Total(), 0u);
+  EXPECT_GT(index.tree_stats.utilization, 0.95);
+
+  auto queries = workload::MakeSquareQueries(index.tree->Mbr(), 0.01, 20, 7);
+  harness::QueryMeasurement m = harness::MeasureQueries(index, queries);
+  EXPECT_GT(m.avg_results, 0.0);
+  EXPECT_GE(m.pct_of_optimal, 100.0);  // can never beat T/B
+  EXPECT_GT(m.frac_tree_visited, 0.0);
+  EXPECT_LT(m.frac_tree_visited, 1.0);
+}
+
+}  // namespace
+}  // namespace prtree
