@@ -5,6 +5,8 @@
 // Walks through the minimal public API: a simulated block device, a
 // WorkEnv memory budget, BulkLoadPrTree, and RTree::Query.
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "core/prtree.h"
@@ -76,7 +78,10 @@ int main() {
   }
 
   // 7. Persistence: snapshot the index to a file and reload it anywhere.
-  std::string path = "/tmp/prtree_quickstart.snapshot";
+  // PID-qualified so concurrent runs (e.g. two ctest invocations on one
+  // machine) cannot clobber each other's snapshot.
+  std::string path = "/tmp/prtree_quickstart." +
+                     std::to_string(static_cast<long>(getpid())) + ".snapshot";
   AbortIfError(SaveTree(index, path));
   BlockDevice device2;
   RTree<2> reloaded(&device2);

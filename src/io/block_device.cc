@@ -44,7 +44,7 @@ Status BlockDevice::Read(PageId page, void* buf) {
   if (!IsLive(page)) {
     return Status::IoError("read of unallocated page " + std::to_string(page));
   }
-  if (read_faults_.contains(page)) {
+  if (read_faults_.count(page) != 0) {
     return Status::IoError("injected read fault on page " +
                            std::to_string(page));
   }
