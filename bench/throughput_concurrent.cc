@@ -1,0 +1,116 @@
+// Multi-core query throughput: the first concurrency numbers in the bench
+// trajectory.
+//
+// The paper reports per-query I/Os on a single thread (§3.3); this driver
+// measures what the same §3.3 setup sustains when many threads query one
+// shared PR-tree through one sharded BufferPool — the pin-based page cache
+// that replaced copy-on-fetch.  The cache protocol is unchanged (internal
+// nodes warmed, leaf misses are the I/Os); the sweep reports queries/sec at
+// 1, 2, 4 and 8 threads plus the per-thread QueryStats cross-check: summed
+// over threads they must equal the single-thread totals exactly, because
+// each query's traversal is deterministic and its counters are private.
+//
+//   $ ./build/release/bench/throughput_concurrent [--n=N] [--queries=Q]
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "io/buffer_pool.h"
+#include "util/parallel.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+using namespace prtree;           // NOLINT
+using namespace prtree::harness;  // NOLINT
+
+namespace {
+
+struct SweepPoint {
+  int threads;
+  double seconds;
+  QueryStats total;  // summed over the per-thread stats
+};
+
+SweepPoint RunSweep(const BuiltIndex& index, BufferPool* pool,
+                    const std::vector<Rect2>& queries, int threads) {
+  std::vector<QueryStats> per_thread(threads);
+  Timer timer;
+  ParallelForChunks(0, queries.size(), threads,
+                    [&](int t, size_t lo, size_t hi) {
+                      QueryStats local;
+                      for (size_t i = lo; i < hi; ++i) {
+                        local += index.tree->Query(queries[i],
+                                                   [](const Record2&) {},
+                                                   pool);
+                      }
+                      per_thread[t] = local;
+                    });
+  SweepPoint p{threads, timer.Seconds(), QueryStats{}};
+  for (const auto& qs : per_thread) p.total += qs;
+  return p;
+}
+
+bool SameStats(const QueryStats& a, const QueryStats& b) {
+  return a.nodes_visited == b.nodes_visited &&
+         a.internal_visited == b.internal_visited &&
+         a.leaves_visited == b.leaves_visited && a.results == b.results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchFlags(argc, argv, /*default_n=*/300000);
+  size_t n = opts.ScaledN();
+  // The default 100 windows of §3.3 are too few to time a multi-core sweep;
+  // use a few thousand unless the user asked for a specific count.
+  size_t num_queries = opts.queries_set ? opts.queries : 4000;
+  std::printf("=== Concurrent query throughput "
+              "(PR-tree, Eastern TIGER-like, n=%zu, %zu x 1%% queries) ===\n",
+              n, num_queries);
+  auto data = workload::MakeTigerLike(n, workload::TigerRegion::kEastern,
+                                      opts.seed);
+  BuiltIndex index = BuildIndex(Variant::kPrTree, data);
+  auto queries = workload::MakeSquareQueries(index.tree->Mbr(), 0.01,
+                                             num_queries, opts.seed + 3);
+
+  BufferPool pool(index.device.get(), index.tree_stats.num_nodes + 16);
+  index.tree->CacheInternalNodes(&pool);
+  std::printf("tree: %llu nodes (%llu leaves), pool: %zu frames over %zu "
+              "shards, host: %d hardware threads\n",
+              static_cast<unsigned long long>(index.tree_stats.num_nodes),
+              static_cast<unsigned long long>(index.tree_stats.num_leaves),
+              pool.capacity(), pool.num_shards(), HardwareThreads());
+
+  // Warm pass: populates the leaf frames so every sweep measures the same
+  // steady state, and records the single-thread reference totals.
+  SweepPoint reference = RunSweep(index, &pool, queries, 1);
+
+  TablePrinter table({"threads", "queries/s", "speedup", "leaves/query",
+                      "stats == 1-thread"});
+  double base_qps = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    SweepPoint p = RunSweep(index, &pool, queries, threads);
+    double qps = static_cast<double>(queries.size()) / p.seconds;
+    if (threads == 1) base_qps = qps;
+    table.AddRow({std::to_string(threads), TablePrinter::Fmt(qps, 0),
+                  TablePrinter::Fmt(qps / base_qps, 2) + "x",
+                  TablePrinter::Fmt(static_cast<double>(p.total.leaves_visited) /
+                                        static_cast<double>(queries.size()),
+                                    1),
+                  SameStats(p.total, reference.total) ? "yes" : "NO"});
+    if (!SameStats(p.total, reference.total)) {
+      std::fprintf(stderr,
+                   "FAIL: per-thread QueryStats at %d threads do not sum to "
+                   "the single-thread totals\n",
+                   threads);
+      return 1;
+    }
+  }
+  table.Print();
+  std::printf("(per-thread QueryStats are private and exact; their sums match "
+              "the single-thread run at every point of the sweep)\n");
+  return 0;
+}

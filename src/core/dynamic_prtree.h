@@ -117,9 +117,18 @@ class DynamicPRTree {
 
   /// \brief Window query over the forest; emits every live intersecting
   /// record.  Returns aggregate visit statistics (the buffer scan is
-  /// memory-resident and costs no I/O).
+  /// memory-resident and costs no I/O).  If `pool` is given, every level's
+  /// node reads go through it (one shared pool serves the whole forest).
+  ///
+  /// Concurrency: queries are read-only over the buffer, levels and
+  /// tombstones, so any number of threads may query one forest through a
+  /// shared pool as long as no Insert/Delete runs concurrently — the same
+  /// readers-xor-writer contract as the static tree.  Level rebuilds write
+  /// to the device without telling any pool, so after an Insert/Delete the
+  /// caller must Clear() a pool it keeps across updates.
   template <typename Emit>
-  QueryStats Query(const RectT& window, Emit emit) const {
+  QueryStats Query(const RectT& window, Emit emit,
+                   BufferPool* pool = nullptr) const {
     QueryStats qs;
     uint64_t live_results = 0;
     for (const auto& rec : buffer_) {
@@ -134,7 +143,7 @@ class DynamicPRTree {
         if (FindTombstone(r) != tombstones_.end()) return;
         ++live_results;
         emit(r);
-      });
+      }, pool);
     }
     // Per-level stats count physical hits; report live results instead.
     qs.results = live_results;
@@ -142,9 +151,10 @@ class DynamicPRTree {
   }
 
   /// Materialising query.
-  std::vector<RecordT> QueryToVector(const RectT& window) const {
+  std::vector<RecordT> QueryToVector(const RectT& window,
+                                     BufferPool* pool = nullptr) const {
     std::vector<RecordT> out;
-    Query(window, [&](const RecordT& r) { out.push_back(r); });
+    Query(window, [&](const RecordT& r) { out.push_back(r); }, pool);
     return out;
   }
 

@@ -136,6 +136,7 @@ BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n) {
       opts.n = std::strtoull(value, nullptr, 10);
     } else if (parse("--queries=", &value)) {
       opts.queries = std::strtoull(value, nullptr, 10);
+      opts.queries_set = true;
     } else if (parse("--seed=", &value)) {
       opts.seed = std::strtoull(value, nullptr, 10);
     } else if (parse("--scale=", &value)) {

@@ -77,6 +77,7 @@ QueryMeasurement MeasureQueries(const BuiltIndex& index,
 struct BenchOptions {
   size_t n = 0;
   size_t queries = 100;
+  bool queries_set = false;  // true when --queries= was given explicitly
   uint64_t seed = 1;
   double scale = 1.0;
 

@@ -40,7 +40,7 @@ bool BlockDevice::IsLive(PageId page) const {
   return page < blocks_.size() && live_[page];
 }
 
-Status BlockDevice::Read(PageId page, void* buf) {
+Status BlockDevice::Read(PageId page, void* buf) const {
   if (!IsLive(page)) {
     return Status::IoError("read of unallocated page " + std::to_string(page));
   }
@@ -49,7 +49,7 @@ Status BlockDevice::Read(PageId page, void* buf) {
                            std::to_string(page));
   }
   std::memcpy(buf, blocks_[page].get(), block_size_);
-  ++stats_.reads;
+  stats_.CountRead();
   return Status::OK();
 }
 
@@ -59,7 +59,7 @@ Status BlockDevice::Write(PageId page, const void* buf) {
                            std::to_string(page));
   }
   std::memcpy(blocks_[page].get(), buf, block_size_);
-  ++stats_.writes;
+  stats_.CountWrite();
   return Status::OK();
 }
 

@@ -7,6 +7,13 @@
 // memory, with exact read/write counters.  Using a simulated device rather
 // than the host filesystem removes OS page-cache noise, which the paper
 // itself identifies as the reason to report I/Os instead of seconds (§3.3).
+//
+// Thread safety: any number of threads may call Read() (and the const
+// accessors) concurrently — block contents are immutable while readers run
+// and the I/O counters are atomics.  The mutating operations (Allocate,
+// Write, Free, fault injection, ResetStats) require exclusive access; the
+// query protocol satisfies this naturally because trees are built and
+// updated single-threaded and only queried concurrently.
 
 #ifndef PRTREE_IO_BLOCK_DEVICE_H_
 #define PRTREE_IO_BLOCK_DEVICE_H_
@@ -48,7 +55,8 @@ class BlockDevice {
   void Free(PageId page);
 
   /// Copies the block into `buf` (block_size() bytes).  Counts one read.
-  Status Read(PageId page, void* buf);
+  /// Safe to call from multiple threads concurrently.
+  Status Read(PageId page, void* buf) const;
 
   /// Copies `buf` (block_size() bytes) into the block.  Counts one write.
   Status Write(PageId page, const void* buf);
@@ -59,8 +67,9 @@ class BlockDevice {
   /// High-water mark of live blocks — the paper's "disk blocks occupied".
   size_t peak_allocated() const { return peak_allocated_; }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Point-in-time snapshot of the I/O counters (atomic per counter).
+  IoStats stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
   /// Makes every subsequent Read of `page` fail with an IoError, simulating
   /// a bad sector.  Test-only.
@@ -76,7 +85,7 @@ class BlockDevice {
   std::vector<PageId> free_list_;
   size_t allocated_ = 0;
   size_t peak_allocated_ = 0;
-  IoStats stats_;
+  mutable AtomicIoStats stats_;
   std::unordered_set<PageId> read_faults_;
 };
 

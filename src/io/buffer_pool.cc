@@ -1,50 +1,216 @@
 #include "io/buffer_pool.h"
 
-#include <cstring>
+#include <algorithm>
 
 #include "util/check.h"
 
 namespace prtree {
 
-BufferPool::BufferPool(BlockDevice* device, size_t capacity)
-    : device_(device), capacity_(capacity) {
-  PRTREE_CHECK(device_ != nullptr);
+using internal::PoolFrame;
+using internal::PoolShard;
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(shard_, frame_);
+    pool_ = nullptr;
+    shard_ = nullptr;
+    frame_ = nullptr;
+  }
+  owned_.reset();
+  owned_size_ = 0;
+  data_ = nullptr;
+  page_ = kInvalidPageId;
 }
 
-Status BufferPool::Fetch(PageId page, void* out) {
-  auto it = frames_.find(page);
-  if (it != frames_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    std::memcpy(out, it->second->data.get(), device_->block_size());
-    return Status::OK();
+BufferPool::BufferPool(BlockDevice* device, size_t capacity,
+                       size_t num_shards)
+    : device_(device), capacity_(capacity) {
+  PRTREE_CHECK(device_ != nullptr);
+  if (num_shards == 0) num_shards = kDefaultShards;
+  num_shards_ = std::clamp<size_t>(num_shards, 1, std::max<size_t>(capacity, 1));
+  shards_ = std::make_unique<PoolShard[]>(num_shards_);
+  // Split the capacity as evenly as possible; the first capacity %
+  // num_shards shards take the remainder.
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shards_[i].capacity =
+        capacity_ / num_shards_ + (i < capacity_ % num_shards_ ? 1 : 0);
   }
-  ++misses_;
-  PRTREE_RETURN_NOT_OK(device_->Read(page, out));
-  if (capacity_ == 0) return Status::OK();
-  if (lru_.size() >= capacity_) {
-    frames_.erase(lru_.back().page);
-    lru_.pop_back();
+}
+
+BufferPool::~BufferPool() {
+  // Guards must not outlive the pool.
+  PRTREE_CHECK(pinned() == 0);
+}
+
+Status BufferPool::Pin(PageId page, PageGuard* out) {
+  PoolShard& shard = ShardFor(page);
+  // The new pin is built into a local and only assigned to *out after the
+  // shard lock is dropped: assigning earlier would run the caller's old
+  // guard's Release() -> Unpin() under the lock, self-deadlocking whenever
+  // a reused guard pins two pages of the same shard back to back.
+  PageGuard result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+
+    auto it = shard.map.find(page);
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      PoolFrame& frame = *it->second;
+      ++frame.pins;
+      result = PageGuard(this, &shard, &frame);
+    } else {
+      ++shard.misses;
+      // The device read happens under the shard lock: on the simulated
+      // device a read is one memcpy, and serialising per shard guarantees
+      // a page is read at most once however many threads miss on it
+      // simultaneously.
+      auto data = std::make_unique<std::byte[]>(device_->block_size());
+      PRTREE_RETURN_NOT_OK(device_->Read(page, data.get()));
+
+      bool cache = true;
+      if (shard.capacity == 0 || shard.lru.size() >= shard.capacity) {
+        // Evict the least-recently-used unpinned frame.  Pinned frames are
+        // never evicted; if everything is pinned (or the shard has no
+        // capacity), refuse to cache and hand the caller its own copy.
+        bool evicted = false;
+        for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
+          if (rit->pins == 0) {
+            shard.map.erase(rit->page);
+            shard.lru.erase(std::next(rit).base());
+            evicted = true;
+            break;
+          }
+        }
+        cache = evicted;
+      }
+      if (cache) {
+        shard.lru.emplace_front();
+        PoolFrame& frame = shard.lru.front();
+        frame.page = page;
+        frame.data = std::move(data);
+        frame.pins = 1;
+        shard.map[page] = shard.lru.begin();
+        result = PageGuard(this, &shard, &frame);
+      } else {
+        result = PageGuard(std::move(data), page, device_->block_size());
+      }
+    }
   }
-  Frame frame;
-  frame.page = page;
-  frame.data = std::make_unique<std::byte[]>(device_->block_size());
-  std::memcpy(frame.data.get(), out, device_->block_size());
-  lru_.push_front(std::move(frame));
-  frames_[page] = lru_.begin();
+  *out = std::move(result);
   return Status::OK();
 }
 
+void BufferPool::Unpin(PoolShard* shard, PoolFrame* frame) {
+  std::lock_guard<std::mutex> lock(shard->mu);
+  PRTREE_CHECK(frame->pins > 0);
+  if (--frame->pins > 0 || !frame->detached) return;
+  // Last pin on an invalidated frame: free it now.
+  for (auto it = shard->detached.begin(); it != shard->detached.end(); ++it) {
+    if (&*it == frame) {
+      shard->detached.erase(it);
+      return;
+    }
+  }
+  PRTREE_CHECK(false);  // a detached frame must be on the detached list
+}
+
 void BufferPool::Invalidate(PageId page) {
-  auto it = frames_.find(page);
-  if (it == frames_.end()) return;
-  lru_.erase(it->second);
-  frames_.erase(it);
+  PoolShard& shard = ShardFor(page);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(page);
+  if (it == shard.map.end()) return;
+  auto frame_it = it->second;
+  shard.map.erase(it);
+  if (frame_it->pins == 0) {
+    shard.lru.erase(frame_it);
+  } else {
+    // Keep the bytes alive for the guards still reading them; the frame
+    // dies on the last Unpin.
+    frame_it->detached = true;
+    shard.detached.splice(shard.detached.begin(), shard.lru, frame_it);
+  }
 }
 
 void BufferPool::Clear() {
-  lru_.clear();
-  frames_.clear();
+  for (size_t i = 0; i < num_shards_; ++i) {
+    PoolShard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->pins == 0) {
+        it = shard.lru.erase(it);
+      } else {
+        it->detached = true;
+        auto next = std::next(it);
+        shard.detached.splice(shard.detached.begin(), shard.lru, it);
+        it = next;
+      }
+    }
+  }
+}
+
+size_t BufferPool::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].lru.size();
+  }
+  return total;
+}
+
+size_t BufferPool::pinned() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    PoolShard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const PoolFrame& f : shard.lru) total += f.pins > 0 ? 1 : 0;
+    total += shard.detached.size();
+  }
+  return total;
+}
+
+uint64_t BufferPool::hits() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].hits;
+  }
+  return total;
+}
+
+uint64_t BufferPool::misses() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].misses;
+  }
+  return total;
+}
+
+void BufferPool::ResetCounters() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].hits = 0;
+    shards_[i].misses = 0;
+  }
+}
+
+Status ReadPage(const BlockDevice& device, PageId page, PageGuard* out) {
+  const size_t size = device.block_size();
+  std::unique_ptr<std::byte[]> data;
+  if (out->pool_ == nullptr && out->owned_ != nullptr &&
+      out->owned_size_ == size) {
+    data = std::move(out->owned_);
+  } else {
+    data = std::make_unique<std::byte[]>(size);
+  }
+  // Reset before the read so a failure leaves `out` empty rather than
+  // pointing at a buffer that was just stolen from it.
+  out->Release();
+  PRTREE_RETURN_NOT_OK(device.Read(page, data.get()));
+  *out = PageGuard(std::move(data), page, size);
+  return Status::OK();
 }
 
 }  // namespace prtree

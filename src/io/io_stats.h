@@ -2,16 +2,20 @@
 //
 // Every experiment in the paper reports block reads/writes (§3.1, §3.3);
 // these counters are the measured quantity behind Figures 9-14 and Table 1.
+// Queries may run from many threads at once (the concurrent query engine),
+// so the live counters are atomics; IoStats itself stays a plain value type
+// used for snapshots and arithmetic.
 
 #ifndef PRTREE_IO_IO_STATS_H_
 #define PRTREE_IO_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace prtree {
 
-/// \brief Running totals of block-level I/O against a BlockDevice.
+/// \brief A snapshot of block-level I/O totals against a BlockDevice.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -28,6 +32,37 @@ struct IoStats {
   }
 
   std::string ToString() const;
+};
+
+/// \brief The live counters behind IoStats: lock-free, safe to bump from
+/// any number of threads.
+///
+/// Relaxed ordering is deliberate: the counters are statistics, not
+/// synchronisation — each increment must be lost-update-free, but no other
+/// memory operation is ordered against them.  Snapshot() loads each counter
+/// atomically, so a snapshot taken mid-run never sees a torn or rolled-back
+/// value (reads and writes are each individually exact as of their load).
+class AtomicIoStats {
+ public:
+  void CountRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
+  void CountWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Coherent point-in-time copy of both counters.
+  IoStats Snapshot() const {
+    return IoStats{reads_.load(std::memory_order_relaxed),
+                   writes_.load(std::memory_order_relaxed)};
+  }
+
+  /// Zeroes both counters.  Unlike the old `stats_ = IoStats{}` reset this
+  /// cannot tear against a concurrent increment: each store is atomic.
+  void Reset() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace prtree

@@ -46,7 +46,8 @@ Real MinDist(const std::array<Real, D>& p, const Rect<D>& r) {
 /// \brief Finds the `k` stored records closest to `point`, in increasing
 /// distance order (ties broken by id for determinism).  Returns fewer
 /// than `k` if the tree is smaller.  `stats` (optional) receives node
-/// visit counters; `pool` (optional) caches node reads.
+/// visit counters; `pool` (optional) caches node reads.  Like window
+/// queries, safe to run from many threads over one shared tree and pool.
 template <int D>
 std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
                                    const std::array<Real, D>& point,
@@ -74,8 +75,8 @@ std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
       greater);
   heap.push(Item{0.0, false, tree.root(), {}});
 
-  std::vector<std::byte> buf(tree.block_size());
   QueryStats local;
+  PageGuard guard;  // hoisted: pool-less searches reuse one buffer
   while (!heap.empty() && result.size() < k) {
     Item item = heap.top();
     heap.pop();
@@ -83,8 +84,8 @@ std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
       result.push_back(Neighbor<D>{item.record, item.dist});
       continue;
     }
-    tree.FetchNode(item.page, buf.data(), pool);
-    NodeView<D> node(buf.data(), tree.block_size());
+    tree.PinNode(item.page, pool, &guard);
+    ConstNodeView<D> node(guard.data(), tree.block_size());
     ++local.nodes_visited;
     if (node.is_leaf()) {
       ++local.leaves_visited;

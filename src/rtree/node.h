@@ -7,12 +7,19 @@
 // 113.  Entries are not naturally aligned inside the page, so all field
 // access goes through memcpy-based readers/writers (no UB, and the compiler
 // lowers these to plain loads/stores on x86).
+//
+// Two views exist over a block: NodeView (mutable, for builders and the
+// update paths, over a caller-owned buffer) and ConstNodeView (read-only,
+// what the query engine wraps directly over pinned BufferPool memory — the
+// zero-copy read path).  Both are the same template; the mutators are
+// compiled out of the const instantiation.
 
 #ifndef PRTREE_RTREE_NODE_H_
 #define PRTREE_RTREE_NODE_H_
 
 #include <cstddef>
 #include <cstring>
+#include <type_traits>
 
 #include "geom/rect.h"
 #include "io/block_device.h"
@@ -39,20 +46,25 @@ constexpr size_t NodeCapacity(size_t block_size) {
   return (block_size - kNodeHeaderSize) / NodeEntrySize<D>();
 }
 
-/// \brief Mutable view over one node block in a caller-owned buffer.
+/// \brief View over one node block in caller- or pool-owned memory.
 ///
-/// The view does not own the buffer and performs no I/O; callers read the
-/// block, wrap it, edit, and write it back.
-template <int D>
-class NodeView {
+/// The view does not own the buffer and performs no I/O.  Mutable views
+/// wrap private buffers (callers read the block, wrap it, edit, and write
+/// it back); const views may wrap shared pinned pool frames.
+template <int D, bool Mutable>
+class BasicNodeView {
  public:
+  using BytePtr = std::conditional_t<Mutable, std::byte*, const std::byte*>;
+
   /// Wraps `block` (block_size bytes).  Does not validate; call IsFormatted
   /// or Format first.
-  NodeView(std::byte* block, size_t block_size)
+  BasicNodeView(BytePtr block, size_t block_size)
       : block_(block), capacity_(NodeCapacity<D>(block_size)) {}
 
   /// Initialises an empty node at the given tree level (0 = leaf).
-  void Format(uint16_t level) {
+  void Format(uint16_t level)
+    requires Mutable
+  {
     WriteU32(0, kNodeMagic);
     WriteU16(4, level);
     WriteU16(6, 0);  // count
@@ -66,7 +78,9 @@ class NodeView {
   bool is_leaf() const { return level() == 0; }
 
   uint16_t count() const { return ReadU16(6); }
-  void set_count(uint16_t c) {
+  void set_count(uint16_t c)
+    requires Mutable
+  {
     PRTREE_DCHECK(c <= capacity_);
     WriteU16(6, c);
   }
@@ -93,7 +107,9 @@ class NodeView {
   }
 
   /// Overwrites entry `i`.
-  void SetEntry(int i, const Rect<D>& r, uint32_t id) {
+  void SetEntry(int i, const Rect<D>& r, uint32_t id)
+    requires Mutable
+  {
     PRTREE_DCHECK(i >= 0 && i < static_cast<int>(capacity_));
     std::byte* p = EntryPtr(i);
     std::memcpy(p, r.lo.data(), D * sizeof(Real));
@@ -102,7 +118,9 @@ class NodeView {
   }
 
   /// Appends an entry; requires !full().
-  void Append(const Rect<D>& r, uint32_t id) {
+  void Append(const Rect<D>& r, uint32_t id)
+    requires Mutable
+  {
     uint16_t c = count();
     PRTREE_CHECK(c < capacity_);
     SetEntry(c, r, id);
@@ -110,7 +128,9 @@ class NodeView {
   }
 
   /// Removes entry `i` by swapping the last entry into its slot.
-  void RemoveSwap(int i) {
+  void RemoveSwap(int i)
+    requires Mutable
+  {
     uint16_t c = count();
     PRTREE_DCHECK(i >= 0 && i < c);
     if (i != c - 1) SetEntry(i, GetRect(c - 1), GetId(c - 1));
@@ -125,7 +145,7 @@ class NodeView {
   }
 
  private:
-  std::byte* EntryPtr(int i) const {
+  BytePtr EntryPtr(int i) const {
     return block_ + kNodeHeaderSize + static_cast<size_t>(i) *
                                           NodeEntrySize<D>();
   }
@@ -140,16 +160,28 @@ class NodeView {
     std::memcpy(&v, block_ + off, sizeof(v));
     return v;
   }
-  void WriteU32(size_t off, uint32_t v) {
+  void WriteU32(size_t off, uint32_t v)
+    requires Mutable
+  {
     std::memcpy(block_ + off, &v, sizeof(v));
   }
-  void WriteU16(size_t off, uint16_t v) {
+  void WriteU16(size_t off, uint16_t v)
+    requires Mutable
+  {
     std::memcpy(block_ + off, &v, sizeof(v));
   }
 
-  std::byte* block_;
+  BytePtr block_;
   size_t capacity_;
 };
+
+/// Mutable view over a caller-owned buffer (builders, update paths).
+template <int D>
+using NodeView = BasicNodeView<D, true>;
+
+/// Read-only view, safe over shared pinned pool memory (query paths).
+template <int D>
+using ConstNodeView = BasicNodeView<D, false>;
 
 }  // namespace prtree
 

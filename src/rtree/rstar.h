@@ -17,6 +17,7 @@
 #define PRTREE_RTREE_RSTAR_H_
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -87,8 +88,16 @@ class RStarUpdater {
     std::optional<std::pair<RectT, PageId>> split;
   };
 
+  /// Reads `page` into the private working buffer `buf`, through the pool
+  /// when one caches this tree (see RTreeUpdater::ReadNode).
   void ReadNode(PageId page, std::byte* buf) {
-    AbortIfError(tree_->device()->Read(page, buf));
+    if (pool_ == nullptr) {
+      AbortIfError(tree_->device()->Read(page, buf));
+      return;
+    }
+    PageGuard guard;
+    tree_->PinNode(page, pool_, &guard);
+    std::memcpy(buf, guard.data(), tree_->block_size());
   }
   void WriteNode(PageId page, const std::byte* buf) {
     AbortIfError(tree_->device()->Write(page, buf));

@@ -6,11 +6,19 @@
 // minimal bounding box of its child's subtree (§1.1).  Because the container
 // and its query procedure are shared, query-performance comparisons between
 // variants measure index quality only.
+//
+// All node reads flow through PinNode(), which returns a pinned PageGuard:
+// with a BufferPool the guard is a zero-copy view over pool memory, without
+// one it owns a private copy.  Queries are read-only over const tree state
+// plus thread-safe device/pool calls, so any number of threads may query
+// one tree concurrently (each gets its own exact QueryStats); mutations
+// (bulk loads, updates, FreeAll) still require exclusive access.
 
 #ifndef PRTREE_RTREE_RTREE_H_
 #define PRTREE_RTREE_RTREE_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "geom/rect.h"
@@ -54,7 +62,7 @@ struct TreeStats {
 /// The object holds the tree's superblock state (root page, height, entry
 /// count); the nodes live on the device.  Bulk loaders construct trees via
 /// the page-level helpers (AllocateNode/WriteNode), dynamic updates via
-/// update.h, and all reads go through Query/VisitNode.
+/// update.h, and all reads go through Query/PinNode.
 template <int D = 2>
 class RTree {
  public:
@@ -98,19 +106,20 @@ class RTree {
   /// Visits exactly the nodes whose MBR intersects the window — the
   /// standard R-tree procedure the paper analyses.  If `pool` is non-null
   /// all node reads go through it (the paper's internal-node cache);
-  /// otherwise nodes are read from the device.
+  /// otherwise nodes are read from the device.  Safe to call from many
+  /// threads at once over one shared pool.
   template <typename Emit>
   QueryStats Query(const RectT& window, Emit emit,
                    BufferPool* pool = nullptr) const {
     QueryStats qs;
     if (empty()) return qs;
-    std::vector<std::byte> buf(block_size());
     std::vector<PageId> stack{root_};
+    PageGuard guard;  // hoisted: pool-less traversals reuse one buffer
     while (!stack.empty()) {
       PageId page = stack.back();
       stack.pop_back();
-      FetchNode(page, buf.data(), pool);
-      NodeView<D> node(buf.data(), block_size());
+      PinNode(page, pool, &guard);
+      ConstNodeView<D> node(guard.data(), block_size());
       ++qs.nodes_visited;
       if (node.is_leaf()) {
         ++qs.leaves_visited;
@@ -145,9 +154,9 @@ class RTree {
   /// read.
   RectT Mbr() const {
     if (empty()) return RectT::Empty();
-    std::vector<std::byte> buf(block_size());
-    FetchNode(root_, buf.data(), nullptr);
-    return NodeView<D>(buf.data(), block_size()).ComputeMbr();
+    PageGuard guard;
+    PinNode(root_, nullptr, &guard);
+    return ConstNodeView<D>(guard.data(), block_size()).ComputeMbr();
   }
 
   /// \brief Walks the whole tree and returns structural statistics
@@ -159,13 +168,13 @@ class RTree {
     ts.nodes_per_level.assign(height_ + 1, 0);
     uint64_t slots = 0;
     uint64_t filled = 0;
-    std::vector<std::byte> buf(block_size());
     std::vector<PageId> stack{root_};
+    PageGuard guard;
     while (!stack.empty()) {
       PageId page = stack.back();
       stack.pop_back();
-      FetchNode(page, buf.data(), nullptr);
-      NodeView<D> node(buf.data(), block_size());
+      PinNode(page, nullptr, &guard);
+      ConstNodeView<D> node(guard.data(), block_size());
       ++ts.num_nodes;
       ts.nodes_per_level[node.level()] += 1;
       slots += node.capacity();
@@ -187,16 +196,18 @@ class RTree {
   /// logarithmic method when a level is merged away.
   void FreeAll() {
     if (empty()) return;
-    std::vector<std::byte> buf(block_size());
     std::vector<PageId> stack{root_};
+    PageGuard guard;
     while (!stack.empty()) {
       PageId page = stack.back();
       stack.pop_back();
-      AbortIfError(device_->Read(page, buf.data()));
-      NodeView<D> node(buf.data(), block_size());
+      PinNode(page, nullptr, &guard);
+      ConstNodeView<D> node(guard.data(), block_size());
       if (!node.is_leaf()) {
         for (int i = 0; i < node.count(); ++i) stack.push_back(node.GetId(i));
       }
+      // Freeing the device page under a live guard is fine: the guard's
+      // bytes are a private copy.
       device_->Free(page);
     }
     root_ = kInvalidPageId;
@@ -204,12 +215,18 @@ class RTree {
     size_ = 0;
   }
 
-  /// Reads node `page` into `buf`, through `pool` when given.
-  void FetchNode(PageId page, std::byte* buf, BufferPool* pool) const {
+  /// \brief Pins node `page` into `guard`: through `pool` when given
+  /// (zero-copy over the cached frame), else a private copy read from the
+  /// device (a hoisted guard re-pinned in a loop reuses its buffer, so
+  /// pool-less traversals stay allocation-free).  Any previous pin held by
+  /// `guard` is dropped.  Aborts on I/O error — node pages are internal
+  /// pointers, so an unreadable page is index corruption, not a
+  /// recoverable condition.
+  void PinNode(PageId page, BufferPool* pool, PageGuard* guard) const {
     if (pool != nullptr) {
-      AbortIfError(pool->Fetch(page, buf));
+      AbortIfError(pool->Pin(page, guard));
     } else {
-      AbortIfError(device_->Read(page, buf));
+      AbortIfError(ReadPage(*device_, page, guard));
     }
   }
 
@@ -219,14 +236,14 @@ class RTree {
   /// Returns the number of internal nodes loaded.
   size_t CacheInternalNodes(BufferPool* pool) const {
     if (empty() || height_ == 0) return 0;
-    std::vector<std::byte> buf(block_size());
     size_t loaded = 0;
     std::vector<std::pair<PageId, int>> stack{{root_, height_}};
+    PageGuard guard;
     while (!stack.empty()) {
       auto [page, level] = stack.back();
       stack.pop_back();
-      AbortIfError(pool->Fetch(page, buf.data()));
-      NodeView<D> node(buf.data(), block_size());
+      PinNode(page, pool, &guard);
+      ConstNodeView<D> node(guard.data(), block_size());
       ++loaded;
       if (level <= 1) continue;  // children are leaves
       for (int i = 0; i < node.count(); ++i) {

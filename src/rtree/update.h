@@ -11,6 +11,7 @@
 #ifndef PRTREE_RTREE_UPDATE_H_
 #define PRTREE_RTREE_UPDATE_H_
 
+#include <cstring>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -98,8 +99,18 @@ class RTreeUpdater {
 
   // ---- shared plumbing -----------------------------------------------
 
+  /// Reads `page` into the private working buffer `buf`, through the pool
+  /// when one caches this tree (a pinned guard is copied out — update paths
+  /// mutate and write back, so they need an owned buffer either way).
+  /// Without a pool, reads straight from the device into `buf`.
   void ReadNode(PageId page, std::byte* buf) {
-    AbortIfError(tree_->device()->Read(page, buf));
+    if (pool_ == nullptr) {
+      AbortIfError(tree_->device()->Read(page, buf));
+      return;
+    }
+    PageGuard guard;
+    tree_->PinNode(page, pool_, &guard);
+    std::memcpy(buf, guard.data(), tree_->block_size());
   }
   void WriteNode(PageId page, const std::byte* buf) {
     AbortIfError(tree_->device()->Write(page, buf));

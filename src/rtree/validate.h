@@ -40,7 +40,6 @@ Status ValidateTree(const RTree<D>& tree,
                ? Status::OK()
                : Status::Corruption("empty tree with nonzero size");
   }
-  std::vector<std::byte> buf(tree.block_size());
   uint64_t entries_seen = 0;
 
   struct Item {
@@ -52,13 +51,14 @@ Status ValidateTree(const RTree<D>& tree,
   };
   std::vector<Item> stack{{tree.root(), tree.height(), true, Rect<D>::Empty(),
                            false}};
+  PageGuard guard;
   while (!stack.empty()) {
     Item item = stack.back();
     stack.pop_back();
-    Status st = tree.device()->Read(item.page, buf.data());
+    Status st = ReadPage(*tree.device(), item.page, &guard);
     if (!st.ok()) return Status::Corruption("unreadable page: " +
                                             st.ToString());
-    NodeView<D> node(buf.data(), tree.block_size());
+    ConstNodeView<D> node(guard.data(), tree.block_size());
     if (!node.IsFormatted()) {
       return Status::Corruption("page " + std::to_string(item.page) +
                                 " is not a formatted node");
@@ -113,13 +113,13 @@ template <int D>
 std::vector<Record<D>> DumpRecords(const RTree<D>& tree) {
   std::vector<Record<D>> out;
   if (tree.empty()) return out;
-  std::vector<std::byte> buf(tree.block_size());
   std::vector<PageId> stack{tree.root()};
+  PageGuard guard;
   while (!stack.empty()) {
     PageId page = stack.back();
     stack.pop_back();
-    AbortIfError(tree.device()->Read(page, buf.data()));
-    NodeView<D> node(buf.data(), tree.block_size());
+    tree.PinNode(page, nullptr, &guard);
+    ConstNodeView<D> node(guard.data(), tree.block_size());
     for (int i = 0; i < node.count(); ++i) {
       if (node.is_leaf()) {
         out.push_back(Record<D>{node.GetRect(i), node.GetId(i)});

@@ -1,0 +1,148 @@
+// Minimal threading utilities for the concurrent query engine.
+//
+// The library's concurrency story is deliberately simple: trees are built
+// and updated single-threaded; queries fan out across threads over a shared
+// BufferPool.  These helpers cover that pattern — a fork-join ParallelFor
+// for benchmarks and batch serving, and a small fixed-size ThreadPool for
+// callers that submit irregular work.  Nothing here knows about R-trees.
+
+#ifndef PRTREE_UTIL_PARALLEL_H_
+#define PRTREE_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace prtree {
+
+/// Number of hardware threads, with a sane floor when the runtime cannot
+/// tell (std::thread::hardware_concurrency may return 0).
+inline int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 2 : static_cast<int>(n);
+}
+
+/// \brief Fork-join over [begin, end) split into `num_threads` contiguous
+/// chunks: calls fn(thread_index, chunk_begin, chunk_end) on each thread
+/// and joins.  Chunk t gets the t-th slice; thread_index lets callers keep
+/// exact per-thread accumulators (e.g. QueryStats) without sharing.
+///
+/// num_threads == 1 runs inline on the calling thread, so single-threaded
+/// measurements have zero threading overhead.
+template <typename Fn>
+void ParallelForChunks(size_t begin, size_t end, int num_threads, Fn fn) {
+  PRTREE_CHECK(num_threads >= 1);
+  const size_t n = end > begin ? end - begin : 0;
+  if (num_threads == 1 || n <= 1) {
+    fn(0, begin, end);
+    return;
+  }
+  const size_t threads = std::min<size_t>(num_threads, n);
+  const size_t base = n / threads;
+  const size_t extra = n % threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  size_t lo = begin;
+  for (size_t t = 0; t < threads; ++t) {
+    size_t hi = lo + base + (t < extra ? 1 : 0);
+    workers.emplace_back([fn, t, lo, hi] { fn(static_cast<int>(t), lo, hi); });
+    lo = hi;
+  }
+  for (auto& w : workers) w.join();
+}
+
+/// \brief Fork-join over [begin, end): calls fn(index) for every index,
+/// statically partitioned over `num_threads` threads.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, int num_threads, Fn fn) {
+  ParallelForChunks(begin, end, num_threads,
+                    [&fn](int /*thread*/, size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+/// \brief Fixed-size pool of worker threads with a FIFO task queue.
+///
+/// Submit() enqueues a task; Wait() blocks until every submitted task has
+/// finished.  Tasks must not Submit() recursively from a worker and then
+/// Wait() on the same pool (classic self-deadlock); the library's usage —
+/// fan out a batch, Wait, read results — never needs that.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    PRTREE_CHECK(num_threads >= 1);
+    workers_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PRTREE_CHECK(!stop_);
+      queue_.push_back(std::move(task));
+      ++outstanding_;
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--outstanding_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_UTIL_PARALLEL_H_

@@ -78,11 +78,15 @@ TEST(BufferPoolTest, HitsAvoidDeviceReads) {
   BlockDevice dev(256);
   PageId p = dev.Allocate();
   BufferPool pool(&dev, 4);
-  std::vector<std::byte> buf(256);
-  ASSERT_TRUE(pool.Fetch(p, buf.data()).ok());
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool.Pin(p, &g).ok());
+  }
   uint64_t reads_after_miss = dev.stats().reads;
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(pool.Fetch(p, buf.data()).ok());
+    PageGuard g;
+    ASSERT_TRUE(pool.Pin(p, &g).ok());
+    EXPECT_EQ(g.page(), p);
   }
   EXPECT_EQ(dev.stats().reads, reads_after_miss);  // all hits
   EXPECT_EQ(pool.hits(), 10u);
@@ -93,40 +97,59 @@ TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
   BlockDevice dev(256);
   std::vector<PageId> pages;
   for (int i = 0; i < 3; ++i) pages.push_back(dev.Allocate());
-  BufferPool pool(&dev, 2);
-  std::vector<std::byte> buf(256);
-  ASSERT_TRUE(pool.Fetch(pages[0], buf.data()).ok());  // miss
-  ASSERT_TRUE(pool.Fetch(pages[1], buf.data()).ok());  // miss
-  ASSERT_TRUE(pool.Fetch(pages[0], buf.data()).ok());  // hit; 0 is now MRU
-  ASSERT_TRUE(pool.Fetch(pages[2], buf.data()).ok());  // miss; evicts 1
-  ASSERT_TRUE(pool.Fetch(pages[0], buf.data()).ok());  // still cached
+  // One shard: a single deterministic LRU over all three pages.
+  BufferPool pool(&dev, 2, /*num_shards=*/1);
+  auto touch = [&](PageId p) {
+    PageGuard g;
+    ASSERT_TRUE(pool.Pin(p, &g).ok());  // guard drops at end of scope
+  };
+  touch(pages[0]);  // miss
+  touch(pages[1]);  // miss
+  touch(pages[0]);  // hit; 0 is now MRU
+  touch(pages[2]);  // miss; evicts 1
+  touch(pages[0]);  // still cached
   EXPECT_EQ(pool.hits(), 2u);
-  ASSERT_TRUE(pool.Fetch(pages[1], buf.data()).ok());  // miss again
+  touch(pages[1]);  // miss again
   EXPECT_EQ(pool.misses(), 4u);
 }
 
-TEST(BufferPoolTest, ZeroCapacityDisablesCaching) {
+TEST(BufferPoolTest, ZeroCapacityStillPinsCorrectly) {
   BlockDevice dev(256);
   PageId p = dev.Allocate();
+  std::vector<std::byte> content(256);
+  std::memset(content.data(), 0x3C, 256);
+  ASSERT_TRUE(dev.Write(p, content.data()).ok());
   BufferPool pool(&dev, 0);
-  std::vector<std::byte> buf(256);
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(pool.Fetch(p, buf.data()).ok());
+  // Every pin is a device read (no caching), but the guard still holds a
+  // valid pinned copy for as long as the caller keeps it.
+  PageGuard keep;
+  ASSERT_TRUE(pool.Pin(p, &keep).ok());
+  for (int i = 0; i < 2; ++i) {
+    PageGuard g;
+    ASSERT_TRUE(pool.Pin(p, &g).ok());
+    EXPECT_EQ(g.data()[0], std::byte{0x3C});
+  }
   EXPECT_EQ(pool.misses(), 3u);
   EXPECT_EQ(dev.stats().reads, 3u);
+  EXPECT_EQ(pool.size(), 0u);  // nothing cached
+  EXPECT_EQ(keep.data()[0], std::byte{0x3C});  // long-lived pin still valid
 }
 
 TEST(BufferPoolTest, InvalidateDropsStaleData) {
   BlockDevice dev(256);
   PageId p = dev.Allocate();
   BufferPool pool(&dev, 2);
+  {
+    PageGuard g;
+    ASSERT_TRUE(pool.Pin(p, &g).ok());
+  }
   std::vector<std::byte> buf(256);
-  ASSERT_TRUE(pool.Fetch(p, buf.data()).ok());
   std::memset(buf.data(), 0x5A, 256);
   ASSERT_TRUE(dev.Write(p, buf.data()).ok());
   pool.Invalidate(p);
-  std::vector<std::byte> out(256);
-  ASSERT_TRUE(pool.Fetch(p, out.data()).ok());
-  EXPECT_EQ(out[0], std::byte{0x5A});
+  PageGuard g;
+  ASSERT_TRUE(pool.Pin(p, &g).ok());
+  EXPECT_EQ(g.data()[0], std::byte{0x5A});
 }
 
 struct TestRec {

@@ -1,0 +1,94 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace prtree {
+namespace {
+
+TEST(ParallelForTest, ChunksPartitionExactly) {
+  const size_t kN = 103;  // deliberately not a multiple of the thread count
+  std::vector<int> touched(kN, 0);
+  std::vector<std::pair<size_t, size_t>> ranges(4);
+  ParallelForChunks(0, kN, 4, [&](int t, size_t lo, size_t hi) {
+    ranges[t] = {lo, hi};
+    for (size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i], 1) << i;
+  // Chunks are contiguous, in order, and cover [0, kN).
+  size_t expect_lo = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_GE(hi, lo);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, kN);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  std::thread::id caller = std::this_thread::get_id();
+  ParallelForChunks(0, 10, 1, [&](int t, size_t lo, size_t hi) {
+    EXPECT_EQ(t, 0);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(0, 3, 8, [&](size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ParallelForTest, EmptyRangeStillCallsOnce) {
+  int calls = 0;
+  ParallelForChunks(5, 5, 4, [&](int, size_t lo, size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, hi);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SubmitWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<uint64_t> sum{0};
+  const int kTasks = 100;
+  for (int i = 1; i <= kTasks; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), static_cast<uint64_t>(kTasks * (kTasks + 1) / 2));
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { ++count; });
+    // No Wait(): the destructor must let workers drain the queue.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace prtree
