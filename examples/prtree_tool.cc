@@ -17,10 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/hilbert_rtree.h"
-#include "baselines/str_rtree.h"
-#include "baselines/tgs_rtree.h"
-#include "core/prtree.h"
+#include "rtree/bulk_loader.h"
 #include "rtree/knn.h"
 #include "rtree/persist.h"
 #include "rtree/validate.h"
@@ -37,7 +34,7 @@ namespace {
       "  gen    --family=size|aspect|skewed|cluster|tiger --n=N "
       "[--param=P] [--seed=S] --out=FILE\n"
       "  build  --data=FILE --variant=pr|h|h4|tgs|str --index=FILE "
-      "[--memory-mb=M]\n"
+      "[--memory-mb=M] [--threads=T]\n"
       "  query  --index=FILE --window=xmin,ymin,xmax,ymax\n"
       "  knn    --index=FILE --point=x,y [--k=K]\n"
       "  stats  --index=FILE\n");
@@ -144,6 +141,8 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::string variant = FlagOr(flags, "variant", "pr");
   size_t memory_mb =
       std::strtoull(FlagOr(flags, "memory-mb", "64").c_str(), nullptr, 10);
+  int threads = static_cast<int>(
+      std::strtol(FlagOr(flags, "threads", "1").c_str(), nullptr, 10));
   if (data_path.empty() || index_path.empty()) Usage();
 
   auto data = ReadCsv(data_path);
@@ -151,21 +150,12 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
               data_path.c_str());
   BlockDevice device;
   RTree<2> tree(&device);
-  WorkEnv env{&device, memory_mb << 20};
-  Status st;
-  if (variant == "pr") {
-    st = BulkLoadPrTree<2>(env, data, &tree);
-  } else if (variant == "h") {
-    st = BulkLoadHilbert(env, data, &tree);
-  } else if (variant == "h4") {
-    st = BulkLoadHilbert4D<2>(env, data, &tree);
-  } else if (variant == "tgs") {
-    st = BulkLoadTgs<2>(env, data, &tree);
-  } else if (variant == "str") {
-    st = BulkLoadStr<2>(env, data, &tree);
-  } else {
-    Usage();
-  }
+  LoaderKind kind;
+  if (!ParseLoaderKind(variant, &kind)) Usage();
+  BuildOptions opts;
+  opts.memory_bytes = memory_mb << 20;
+  opts.threads = threads < 1 ? 1 : threads;
+  Status st = MakeBulkLoader<2>(kind, opts)->Build(&device, data, &tree);
   if (!st.ok()) {
     std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
     return 1;

@@ -2,15 +2,15 @@
 //
 //   $ ./build/examples/quickstart
 //
-// Walks through the minimal public API: a simulated block device, a
-// WorkEnv memory budget, BulkLoadPrTree, and RTree::Query.
+// Walks through the minimal public API: a simulated block device, the
+// unified BulkLoader construction entry point, and RTree::Query.
 
 #include <unistd.h>
 
 #include <cstdio>
 
-#include "core/prtree.h"
 #include "io/block_device.h"
+#include "rtree/bulk_loader.h"
 #include "rtree/knn.h"
 #include "rtree/persist.h"
 #include "rtree/rtree.h"
@@ -32,12 +32,17 @@ int main() {
     boxes.push_back(Record2{MakeRect(x, y, x + w, y + h), id});
   }
 
-  // 3. Bulk-load the PR-tree.  WorkEnv caps the loader's working memory —
-  //    the algorithm is external: it works for data far larger than RAM.
+  // 3. Bulk-load the PR-tree through the unified BulkLoader API (the same
+  //    call builds Hilbert/TGS/STR — pick a LoaderKind).  memory_bytes
+  //    caps the loader's working memory — the algorithm is external: it
+  //    works for data far larger than RAM.  threads > 1 parallelises the
+  //    build and produces the byte-identical tree.
   RTree<2> index(&device);
-  WorkEnv env{&device, /*memory_bytes=*/16u << 20};
-  Status st = BulkLoadPrTree<2>(env, boxes, &index);
-  AbortIfError(st);
+  BuildOptions opts;
+  opts.memory_bytes = 16u << 20;
+  opts.threads = HardwareThreads();
+  auto loader = MakeBulkLoader<2>(LoaderKind::kPrTree, opts);
+  AbortIfError(loader->Build(&device, boxes, &index));
   std::printf("built PR-tree: %zu records, height %d, %llu nodes, "
               "%.1f%% space utilisation\n",
               index.size(), index.height(),

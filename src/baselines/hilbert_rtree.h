@@ -92,7 +92,7 @@ Status BulkLoadHilbertImpl(WorkEnv env, Stream<Record<D>>* input,
   }
   size_t n = sorted.size();
   sorted.Clear();
-  PackUpward(tree, writer.Finish(), n);
+  PackUpward(tree, writer.Finish(), n, env.pool);
   return Status::OK();
 }
 

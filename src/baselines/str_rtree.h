@@ -86,7 +86,7 @@ Status BulkLoadStr(WorkEnv env, Stream<Record<D>>* input, RTree<D>* tree) {
   if (n == 0) return Status::OK();
   NodeWriter<D> writer(env.device, /*level=*/0);
   internal::StrSlab<D>(env, input, 0, tree->capacity(), &writer);
-  PackUpward(tree, writer.Finish(), n);
+  PackUpward(tree, writer.Finish(), n, env.pool);
   return Status::OK();
 }
 

@@ -16,6 +16,13 @@
 // break ties by record id, which restores that assumption for arbitrary
 // inputs without perturbing the data.  TGS uses the same orderings for its
 // binary partitions (§1.1 [12]).
+//
+// The id tie-break makes both orderings strict TOTAL orders (ids are
+// unique), which the parallel bulk-load pipeline depends on: a totally
+// ordered sequence has exactly one sorted permutation, so ParallelSort and
+// the parallel nth_element-based selections produce byte-identical results
+// to their serial counterparts on equal coordinates.  Any new comparator
+// fed to ExternalSort/ParallelSort must keep a unique secondary key.
 
 #ifndef PRTREE_CORE_CORNER_ORDER_H_
 #define PRTREE_CORE_CORNER_ORDER_H_

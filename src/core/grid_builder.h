@@ -36,6 +36,7 @@
 #include <array>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -46,6 +47,7 @@
 #include "io/stream.h"
 #include "io/work_env.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace prtree {
 
@@ -171,6 +173,13 @@ int SlabIndex(const std::vector<CoordThreshold>& thresholds,
 ///
 /// The input stream is read (not consumed); all working streams live on
 /// env.device, so the device counters measure the paper's build cost.
+///
+/// Parallelism: env.pool accelerates the 2D preprocessing sorts (through
+/// ExternalSort) and runs the independent in-memory base-case sub-problems
+/// as pool tasks.  Finished base cases are retired in discovery order on
+/// the calling thread — which performs every emit() and stream Clear() —
+/// so the leaf sequence and the device's allocation history are identical
+/// to a serial build.  Worker tasks only read from the device.
 template <int D, typename Emit>
 void GridEmitLeaves(WorkEnv env, Stream<Record<D>>* input,
                     const GridBuildOptions& opts, Emit emit) {
@@ -183,7 +192,7 @@ void GridEmitLeaves(WorkEnv env, Stream<Record<D>>* input,
   PRTREE_CHECK(prio >= 1 && prio <= b);
   const size_t memory =
       opts.memory_override != 0 ? opts.memory_override : env.memory_bytes;
-  WorkEnv sort_env{env.device, memory};
+  WorkEnv sort_env{env.device, memory, env.pool};
 
   input->Flush();
   if (input->size() == 0) return;
@@ -209,6 +218,60 @@ void GridEmitLeaves(WorkEnv env, Stream<Record<D>>* input,
   const size_t mem_records = std::max<size_t>(
       memory / sizeof(Rec) / 2, 4 * b);  // working space for the base case
 
+  ThreadPool* pool =
+      (env.pool != nullptr && env.pool->num_threads() > 1) ? env.pool
+                                                           : nullptr;
+  PseudoPRTreeBuilder<D> builder(b, prio);
+
+  // In-memory base cases: a pool task reads the region's records and
+  // computes its leaf chunks; the calling thread retires finished cases in
+  // discovery order, performing the emits and freeing the region's streams
+  // — so emission order and device allocation order match the serial
+  // build.  Backpressure below keeps the inflight record buffers within
+  // ~2x the advisory memory budget (each case holds at most mem_records =
+  // M/2 of records), on top of a num_threads cap; retire timing never
+  // touches the device out of order, so the bound costs no determinism.
+  struct BaseCase {
+    Sub sub;
+    std::vector<Rec> recs;
+    std::vector<PseudoLeafChunk> chunks;
+    ThreadPool::TaskGroup done;
+  };
+  std::deque<std::unique_ptr<BaseCase>> inflight;
+  size_t inflight_records = 0;
+  const size_t max_inflight = pool != nullptr ? pool->num_threads() : 1;
+  const size_t max_inflight_records = 2 * mem_records;
+
+  auto run_base = [&builder, pool, b](BaseCase* bc) {
+    bc->sub.lists[0].ReadAll(&bc->recs);
+    bc->chunks.reserve(bc->recs.size() / b + 2);
+    builder.EmitLeaves(
+        &bc->recs,
+        [bc](const PseudoLeafChunk& c) { bc->chunks.push_back(c); },
+        bc->sub.depth, pool);
+  };
+  std::vector<Rec> chunk_buf;
+  auto retire_one = [&]() {
+    std::unique_ptr<BaseCase> bc = std::move(inflight.front());
+    inflight.pop_front();
+    if (pool != nullptr) pool->WaitFor(&bc->done);
+    inflight_records -= bc->sub.n;
+    // Clear before emitting, exactly like the pre-pipeline serial code:
+    // the emitted leaf pages then reuse the region's just-freed stream
+    // pages, keeping the device's allocation history (page layout,
+    // peak_allocated) identical to historical serial builds.  Safe: the
+    // region's task has finished reading (WaitFor above).
+    for (auto& l : bc->sub.lists) l.Clear();
+    for (const PseudoLeafChunk& c : bc->chunks) {
+      chunk_buf.assign(bc->recs.begin() + c.offset,
+                       bc->recs.begin() + c.offset + c.count);
+      emit(chunk_buf);
+    }
+  };
+  auto retire_all = [&]() {
+    while (!inflight.empty()) retire_one();
+  };
+
   while (!pending.empty()) {
     Sub sub = std::move(pending.front());
     pending.pop_front();
@@ -216,21 +279,30 @@ void GridEmitLeaves(WorkEnv env, Stream<Record<D>>* input,
 
     // ---- recursion base: build in memory ---------------------------
     if (sub.n <= mem_records) {
-      std::vector<Rec> recs;
-      sub.lists[0].ReadAll(&recs);
-      for (auto& l : sub.lists) l.Clear();
-      PseudoPRTreeBuilder<D> builder(b, prio);
-      std::vector<Rec> chunk;
-      builder.EmitLeaves(
-          &recs,
-          [&](const PseudoLeafChunk& c) {
-            chunk.assign(recs.begin() + c.offset,
-                         recs.begin() + c.offset + c.count);
-            emit(chunk);
-          },
-          sub.depth);
+      auto bc = std::make_unique<BaseCase>();
+      bc->sub = std::move(sub);
+      BaseCase* raw = bc.get();
+      if (pool != nullptr) {
+        while (!inflight.empty() &&
+               (inflight.size() >= max_inflight ||
+                inflight_records + raw->sub.n > max_inflight_records)) {
+          retire_one();
+        }
+        inflight_records += raw->sub.n;
+        inflight.push_back(std::move(bc));
+        pool->Submit(&raw->done, [&run_base, raw] { run_base(raw); });
+      } else {
+        inflight_records += raw->sub.n;
+        inflight.push_back(std::move(bc));
+        run_base(raw);
+        retire_one();
+      }
       continue;
     }
+
+    // A grid phase emits its own priority leaves below; retire every
+    // earlier base case first so the global leaf order stays serial.
+    retire_all();
 
     // ---- grid phase -------------------------------------------------
     const size_t n = sub.n;
@@ -435,20 +507,15 @@ void GridEmitLeaves(WorkEnv env, Stream<Record<D>>* input,
 
     if (nodes.empty()) {
       // Degenerate (tiny n with an overridden budget): fall back to the
-      // in-memory builder to guarantee progress.
-      std::vector<Rec> recs;
-      sub.lists[0].ReadAll(&recs);
-      for (auto& l : sub.lists) l.Clear();
-      PseudoPRTreeBuilder<D> builder(b, prio);
-      std::vector<Rec> chunk;
-      builder.EmitLeaves(
-          &recs,
-          [&](const PseudoLeafChunk& c) {
-            chunk.assign(recs.begin() + c.offset,
-                         recs.begin() + c.offset + c.count);
-            emit(chunk);
-          },
-          sub.depth);
+      // in-memory builder to guarantee progress.  Inline (not a task) so
+      // the leaves land exactly here in the emission order.
+      auto bc = std::make_unique<BaseCase>();
+      bc->sub = std::move(sub);
+      BaseCase* raw = bc.get();
+      inflight_records += raw->sub.n;
+      inflight.push_back(std::move(bc));
+      run_base(raw);
+      retire_one();
       continue;
     }
 
@@ -563,6 +630,7 @@ void GridEmitLeaves(WorkEnv env, Stream<Record<D>>* input,
       if (child.n > 0) pending.push_back(std::move(child));
     }
   }
+  retire_all();
 }
 
 }  // namespace prtree

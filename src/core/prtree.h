@@ -70,9 +70,12 @@ std::vector<LevelEntry<D>> BuildPrStage(WorkEnv env,
   if (!opts.force_grid && input->size() <= std::max(mem_records,
                                                     4 * node_capacity)) {
     PseudoPRTreeBuilder<D> builder(node_capacity, prio_size);
-    builder.EmitLeaves(input, [&](const PseudoLeafChunk& chunk) {
-      write_chunk(input->data() + chunk.offset, chunk.count);
-    });
+    builder.EmitLeaves(
+        input,
+        [&](const PseudoLeafChunk& chunk) {
+          write_chunk(input->data() + chunk.offset, chunk.count);
+        },
+        /*start_depth=*/0, env.pool);
     return finished;
   }
 
@@ -99,7 +102,9 @@ std::vector<LevelEntry<D>> BuildPrStage(WorkEnv env,
 ///
 /// All block transfers are accounted on env.device; the memory budget
 /// selects between the grid algorithm and the in-memory base case per
-/// stage.
+/// stage.  env.pool (if set) parallelises the sorts, the pseudo-PR-tree
+/// recursion and the grid base cases; the produced tree is byte-identical
+/// for any thread count (see rtree/bulk_loader.h for the contract).
 template <int D>
 Status BulkLoadPrTree(WorkEnv env, Stream<Record<D>>* input, RTree<D>* tree,
                       const PrTreeOptions& opts = PrTreeOptions{}) {

@@ -32,6 +32,7 @@
 #include "geom/rect.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace prtree {
 
@@ -82,55 +83,129 @@ class PseudoPRTreeBuilder {
   ///
   /// `start_depth` seeds the round-robin split dimension; the grid builder
   /// passes the kd depth already consumed by its top phase.
+  ///
+  /// When `pool` is non-null the left/right kd recursion runs as pool tasks
+  /// down to a depth cutoff.  The permutation and the emitted chunk
+  /// sequence are *identical* to the serial build: subtrees permute
+  /// disjoint subranges, every selection runs on the same data either way,
+  /// and each subtree's chunks are buffered and spliced back in DFS order
+  /// before `emit` sees them.  `emit` itself is always invoked on the
+  /// calling thread.
   template <typename Emit>
-  void EmitLeaves(std::vector<Rec>* records, Emit emit,
-                  int start_depth = 0) const {
-    Build(records->data(), 0, records->size(), start_depth, emit);
+  void EmitLeaves(std::vector<Rec>* records, Emit emit, int start_depth = 0,
+                  ThreadPool* pool = nullptr) const {
+    const size_t n = records->size();
+    if (pool == nullptr || pool->num_threads() <= 1 ||
+        n <= ParallelGrain()) {
+      Build(records->data(), 0, n, start_depth, emit);
+      return;
+    }
+    // 2x oversubscription of fork leaves keeps the pool busy despite the
+    // slightly unbalanced multiple-of-B splits.
+    int cutoff = 1;
+    while ((size_t{1} << cutoff) < 2 * pool->num_threads()) ++cutoff;
+    std::vector<PseudoLeafChunk> chunks;
+    BuildParallel(records->data(), 0, n, start_depth, cutoff, pool, &chunks);
+    for (const PseudoLeafChunk& c : chunks) emit(c);
   }
 
  private:
+  /// Smallest subproblem worth forking: below this, task overhead beats
+  /// the O(n) selection work; also guarantees BuildParallel only ever
+  /// splits full nodes.
+  size_t ParallelGrain() const {
+    return std::max<size_t>(kDirs * priority_size_ + 2 * capacity_, 1u << 13);
+  }
+
   template <typename Emit>
   void Build(Rec* data, size_t offset, size_t n, int depth,
              Emit& emit) const {
     const size_t b = capacity_;
-    const size_t p = priority_size_;
     if (n == 0) return;
     if (n <= b) {
       // Single leaf (the recursion base of the definition).
       emit(PseudoLeafChunk{offset, n, kPlainLeaf, depth, offset + n});
       return;
     }
-    if (n <= kDirs * p + 2 * b) {
-      // Small node: too few records for 2D full priority leaves plus two
-      // Θ(B) subtrees.  Following §2.1's remark ("we may make the priority
-      // leaves under its parent slightly smaller so that all leaves contain
-      // Θ(B) rectangles"), divide the set evenly into m = ceil(n/B) <= 2D+2
-      // chunks of >= B/2 records, selected most-extreme-first in the
-      // direction cycle.
-      size_t m = (n + b - 1) / b;
-      size_t base = n / m;
-      size_t extra = n % m;
-      Rec* p = data;
-      size_t rem = n;
-      size_t end = offset + n;
-      for (size_t c = 0; c < m; ++c) {
-        size_t sz = base + (c < extra ? 1 : 0);
-        int dir = static_cast<int>(c % kDirs);
-        if (sz < rem) {
-          std::nth_element(p, p + sz, p + rem, ExtremeLess<D>{dir});
-        }
-        emit(PseudoLeafChunk{offset + static_cast<size_t>(p - data), sz, dir,
-                             depth, end});
-        p += sz;
-        rem -= sz;
-      }
-      PRTREE_DCHECK(rem == 0);
+    if (n <= kDirs * priority_size_ + 2 * b) {
+      EmitSmallNode(data, offset, n, depth, emit);
       return;
     }
+    size_t skip = 0, left = 0;
+    SplitFullNode(data, offset, n, depth, emit, &skip, &left);
+    Build(data + skip, offset + skip, left, depth + 1, emit);
+    Build(data + skip + left, offset + skip + left, n - skip - left,
+          depth + 1, emit);
+  }
 
-    // Full node: 2D priority leaves of exactly `p` extreme records each
-    // (p = B for the PR-tree), then a median split of the remainder on the
-    // round-robin corner coordinate.
+  /// Forked variant of Build: chunks are appended to `out` in the exact
+  /// serial DFS order (priority leaves, then the left subtree's chunks,
+  /// then the right's).
+  void BuildParallel(Rec* data, size_t offset, size_t n, int depth,
+                     int cutoff, ThreadPool* pool,
+                     std::vector<PseudoLeafChunk>* out) const {
+    auto collect = [out](const PseudoLeafChunk& c) { out->push_back(c); };
+    if (cutoff <= 0 || n <= ParallelGrain()) {
+      Build(data, offset, n, depth, collect);
+      return;
+    }
+    size_t skip = 0, left = 0;
+    SplitFullNode(data, offset, n, depth, collect, &skip, &left);
+    std::vector<PseudoLeafChunk> left_chunks;
+    ThreadPool::TaskGroup group;
+    pool->Submit(&group, [this, data, offset, skip, left, depth, cutoff,
+                          pool, &left_chunks] {
+      BuildParallel(data + skip, offset + skip, left, depth + 1, cutoff - 1,
+                    pool, &left_chunks);
+    });
+    std::vector<PseudoLeafChunk> right_chunks;
+    BuildParallel(data + skip + left, offset + skip + left, n - skip - left,
+                  depth + 1, cutoff - 1, pool, &right_chunks);
+    pool->WaitFor(&group);
+    out->insert(out->end(), left_chunks.begin(), left_chunks.end());
+    out->insert(out->end(), right_chunks.begin(), right_chunks.end());
+  }
+
+  /// Small node: too few records for 2D full priority leaves plus two
+  /// Θ(B) subtrees.  Following §2.1's remark ("we may make the priority
+  /// leaves under its parent slightly smaller so that all leaves contain
+  /// Θ(B) rectangles"), divide the set evenly into m = ceil(n/B) <= 2D+2
+  /// chunks of >= B/2 records, selected most-extreme-first in the
+  /// direction cycle.
+  template <typename Emit>
+  void EmitSmallNode(Rec* data, size_t offset, size_t n, int depth,
+                     Emit& emit) const {
+    const size_t b = capacity_;
+    size_t m = (n + b - 1) / b;
+    size_t base = n / m;
+    size_t extra = n % m;
+    Rec* ptr = data;
+    size_t rem = n;
+    size_t end = offset + n;
+    for (size_t c = 0; c < m; ++c) {
+      size_t sz = base + (c < extra ? 1 : 0);
+      int dir = static_cast<int>(c % kDirs);
+      if (sz < rem) {
+        std::nth_element(ptr, ptr + sz, ptr + rem, ExtremeLess<D>{dir});
+      }
+      emit(PseudoLeafChunk{offset + static_cast<size_t>(ptr - data), sz, dir,
+                           depth, end});
+      ptr += sz;
+      rem -= sz;
+    }
+    PRTREE_DCHECK(rem == 0);
+  }
+
+  /// Full node: emits the 2D priority leaves of exactly priority_size_
+  /// extreme records each (= B for the PR-tree) and computes the median
+  /// split of the remainder on the round-robin corner coordinate.  On
+  /// return the records of [skip, skip + left) / [skip + left, n) are the
+  /// left / right kd children.
+  template <typename Emit>
+  void SplitFullNode(Rec* data, size_t offset, size_t n, int depth,
+                     Emit& emit, size_t* skip_out, size_t* left_out) const {
+    const size_t b = capacity_;
+    const size_t p = priority_size_;
     Rec* ptr = data;
     size_t rem = n;
     size_t end = offset + n;
@@ -149,9 +224,8 @@ class PseudoPRTreeBuilder {
     size_t left = (rem / 2 / b) * b;
     PRTREE_DCHECK(left >= b && rem - left >= b);
     std::nth_element(ptr, ptr + left, ptr + rem, CoordLess<D>{dim});
-    size_t child_off = offset + static_cast<size_t>(ptr - data);
-    Build(ptr, child_off, left, depth + 1, emit);
-    Build(ptr + left, child_off + left, rem - left, depth + 1, emit);
+    *skip_out = static_cast<size_t>(ptr - data);
+    *left_out = left;
   }
 
   size_t capacity_;

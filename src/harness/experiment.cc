@@ -3,11 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "baselines/hilbert_rtree.h"
-#include "baselines/str_rtree.h"
-#include "baselines/tgs_rtree.h"
-#include "core/prtree.h"
 #include "io/buffer_pool.h"
+#include "rtree/bulk_loader.h"
 #include "util/timer.h"
 
 namespace prtree {
@@ -43,12 +40,15 @@ size_t ScaledMemoryBudget(size_t n) {
 }
 
 BuiltIndex BuildIndex(Variant variant, const std::vector<Record2>& data,
-                      size_t memory_bytes) {
+                      size_t memory_bytes, int threads) {
   BuiltIndex out;
   out.device = std::make_unique<BlockDevice>(kDefaultBlockSize);
   out.tree = std::make_unique<RTree<2>>(out.device.get());
   if (memory_bytes == 0) memory_bytes = ScaledMemoryBudget(data.size());
-  WorkEnv env{out.device.get(), memory_bytes};
+  BuildOptions bopts;
+  bopts.memory_bytes = memory_bytes;
+  bopts.threads = threads;
+  std::unique_ptr<BulkLoader<2>> loader = MakeBulkLoader<2>(variant, bopts);
 
   // Stage the input on the device first (it exists on disk in the paper's
   // setup); the build measurement starts after staging.
@@ -58,25 +58,7 @@ BuiltIndex BuildIndex(Variant variant, const std::vector<Record2>& data,
   out.device->ResetStats();
 
   Timer timer;
-  Status st;
-  switch (variant) {
-    case Variant::kHilbert:
-      st = BulkLoadHilbert(env, &input, out.tree.get());
-      break;
-    case Variant::kHilbert4D:
-      st = BulkLoadHilbert4D<2>(env, &input, out.tree.get());
-      break;
-    case Variant::kPrTree:
-      st = BulkLoadPrTree<2>(env, &input, out.tree.get());
-      break;
-    case Variant::kTgs:
-      st = BulkLoadTgs<2>(env, &input, out.tree.get());
-      break;
-    case Variant::kStr:
-      st = BulkLoadStr<2>(env, &input, out.tree.get());
-      break;
-  }
-  AbortIfError(st);
+  AbortIfError(loader->Build(out.device.get(), &input, out.tree.get()));
   out.build_seconds = timer.Seconds();
   out.build_io = out.device->stats();
   out.tree_stats = out.tree->ComputeStats();
@@ -141,12 +123,15 @@ BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n) {
       opts.seed = std::strtoull(value, nullptr, 10);
     } else if (parse("--scale=", &value)) {
       opts.scale = std::strtod(value, nullptr);
+    } else if (parse("--threads=", &value)) {
+      opts.threads = static_cast<int>(std::strtol(value, nullptr, 10));
+      if (opts.threads < 1) opts.threads = 1;
     } else if (std::strncmp(arg, "--family=", 9) == 0) {
       // Consumed by fig15; ignore here.
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--n=N] [--queries=Q] "
-                   "[--seed=S] [--scale=F]\n",
+                   "[--seed=S] [--scale=F] [--threads=T]\n",
                    arg, argv[0]);
       std::exit(2);
     }

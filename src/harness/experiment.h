@@ -19,13 +19,16 @@
 #include "geom/rect.h"
 #include "io/block_device.h"
 #include "io/work_env.h"
+#include "rtree/bulk_loader.h"
 #include "rtree/rtree.h"
 
 namespace prtree {
 namespace harness {
 
 /// The index variants of the paper's evaluation (§3) plus STR.
-enum class Variant { kHilbert, kHilbert4D, kPrTree, kTgs, kStr };
+/// (Alias of the BulkLoader kinds — the harness builds everything through
+/// the unified rtree/bulk_loader.h API.)
+using Variant = LoaderKind;
 
 /// Short display name used in the paper ("H", "H4", "PR", "TGS", "STR").
 const char* VariantName(Variant v);
@@ -45,9 +48,11 @@ struct BuiltIndex {
 /// \brief Bulk-loads `variant` over `data` on a fresh device.
 ///
 /// `memory_bytes` == 0 selects the paper-proportional budget
-/// (max(data/9, 2 MB)).
+/// (max(data/9, 2 MB)).  `threads` > 1 parallelises the build through the
+/// BulkLoader pipeline; the tree (and its I/O counts) are identical for
+/// any value, only build_seconds changes.
 BuiltIndex BuildIndex(Variant variant, const std::vector<Record2>& data,
-                      size_t memory_bytes = 0);
+                      size_t memory_bytes = 0, int threads = 1);
 
 /// Paper-proportional memory budget for a dataset of `n` records.
 size_t ScaledMemoryBudget(size_t n);
@@ -74,12 +79,15 @@ QueryMeasurement MeasureQueries(const BuiltIndex& index,
 ///   --queries=<count>   windows per measurement (default 100, as in §3.3)
 ///   --seed=<uint64>     generator seed
 ///   --scale=<double>    multiplies --n (quick way to approach paper scale)
+///   --threads=<count>   build threads (default 1; results are identical,
+///                       only wall-clock changes)
 struct BenchOptions {
   size_t n = 0;
   size_t queries = 100;
   bool queries_set = false;  // true when --queries= was given explicitly
   uint64_t seed = 1;
   double scale = 1.0;
+  int threads = 1;
 
   size_t ScaledN() const {
     return static_cast<size_t>(static_cast<double>(n) * scale);

@@ -1,5 +1,6 @@
 #include "io/block_device.h"
 
+#include <bit>
 #include <cstring>
 
 #include "util/check.h"
@@ -10,18 +11,64 @@ BlockDevice::BlockDevice(size_t block_size) : block_size_(block_size) {
   PRTREE_CHECK(block_size_ >= 64);
 }
 
+BlockDevice::~BlockDevice() {
+  for (auto& brick : bricks_) {
+    delete[] brick.load(std::memory_order_relaxed);
+  }
+}
+
+int BlockDevice::BrickOf(PageId page, size_t* offset) {
+  if (page < (PageId{1} << kBrick0Bits)) {
+    *offset = page;
+    return 0;
+  }
+  int msb = std::bit_width(page) - 1;
+  *offset = page - (PageId{1} << msb);
+  return msb - kBrick0Bits + 1;
+}
+
+BlockDevice::PageSlot& BlockDevice::Slot(PageId page) const {
+  size_t offset = 0;
+  int brick = BrickOf(page, &offset);
+  PageSlot* base = bricks_[brick].load(std::memory_order_acquire);
+  PRTREE_DCHECK(base != nullptr);
+  return base[offset];
+}
+
+BlockDevice::PageSlot* BlockDevice::LiveSlot(PageId page) const {
+  if (page >= num_pages_.load(std::memory_order_acquire)) return nullptr;
+  PageSlot& slot = Slot(page);
+  if (!slot.live.load(std::memory_order_acquire)) return nullptr;
+  return &slot;
+}
+
 PageId BlockDevice::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   PageId page;
   if (!free_list_.empty()) {
     page = free_list_.back();
     free_list_.pop_back();
-    std::memset(blocks_[page].get(), 0, block_size_);
-    live_[page] = true;
+    PageSlot& slot = Slot(page);
+    std::memset(slot.data.get(), 0, block_size_);
+    slot.live.store(true, std::memory_order_release);
   } else {
-    PRTREE_CHECK(blocks_.size() < kInvalidPageId);
-    page = static_cast<PageId>(blocks_.size());
-    blocks_.push_back(std::make_unique<std::byte[]>(block_size_));
-    live_.push_back(true);
+    size_t next = num_pages_.load(std::memory_order_relaxed);
+    PRTREE_CHECK(next < kInvalidPageId);
+    page = static_cast<PageId>(next);
+    size_t offset = 0;
+    int brick = BrickOf(page, &offset);
+    if (offset == 0 &&
+        bricks_[brick].load(std::memory_order_relaxed) == nullptr) {
+      size_t brick_pages = size_t{1}
+                           << (brick == 0 ? kBrick0Bits
+                                          : kBrick0Bits + brick - 1);
+      bricks_[brick].store(new PageSlot[brick_pages],
+                           std::memory_order_release);
+    }
+    PageSlot& slot = Slot(page);
+    slot.data = std::make_unique<std::byte[]>(block_size_);  // zeroed
+    slot.live.store(true, std::memory_order_release);
+    num_pages_.store(next + 1, std::memory_order_release);
   }
   ++allocated_;
   peak_allocated_ = std::max(peak_allocated_, allocated_);
@@ -29,36 +76,47 @@ PageId BlockDevice::Allocate() {
 }
 
 void BlockDevice::Free(PageId page) {
-  PRTREE_CHECK(IsLive(page));
-  live_[page] = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  PageSlot* slot = LiveSlot(page);
+  PRTREE_CHECK(slot != nullptr);
+  slot->live.store(false, std::memory_order_release);
   free_list_.push_back(page);
   PRTREE_CHECK(allocated_ > 0);
   --allocated_;
 }
 
-bool BlockDevice::IsLive(PageId page) const {
-  return page < blocks_.size() && live_[page];
+size_t BlockDevice::num_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_;
+}
+
+size_t BlockDevice::peak_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_allocated_;
 }
 
 Status BlockDevice::Read(PageId page, void* buf) const {
-  if (!IsLive(page)) {
+  const PageSlot* slot = LiveSlot(page);
+  if (slot == nullptr) {
     return Status::IoError("read of unallocated page " + std::to_string(page));
   }
-  if (read_faults_.count(page) != 0) {
+  if (fault_count_.load(std::memory_order_acquire) != 0 &&
+      read_faults_.count(page) != 0) {
     return Status::IoError("injected read fault on page " +
                            std::to_string(page));
   }
-  std::memcpy(buf, blocks_[page].get(), block_size_);
+  std::memcpy(buf, slot->data.get(), block_size_);
   stats_.CountRead();
   return Status::OK();
 }
 
 Status BlockDevice::Write(PageId page, const void* buf) {
-  if (!IsLive(page)) {
+  PageSlot* slot = LiveSlot(page);
+  if (slot == nullptr) {
     return Status::IoError("write of unallocated page " +
                            std::to_string(page));
   }
-  std::memcpy(blocks_[page].get(), buf, block_size_);
+  std::memcpy(slot->data.get(), buf, block_size_);
   stats_.CountWrite();
   return Status::OK();
 }

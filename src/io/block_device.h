@@ -8,19 +8,27 @@
 // than the host filesystem removes OS page-cache noise, which the paper
 // itself identifies as the reason to report I/Os instead of seconds (§3.3).
 //
-// Thread safety: any number of threads may call Read() (and the const
-// accessors) concurrently — block contents are immutable while readers run
-// and the I/O counters are atomics.  The mutating operations (Allocate,
-// Write, Free, fault injection, ResetStats) require exclusive access; the
-// query protocol satisfies this naturally because trees are built and
-// updated single-threaded and only queried concurrently.
+// Thread safety: all operations may be called concurrently.  Blocks live in
+// a two-level table of geometrically sized "bricks" published through
+// atomic pointers, so Read()/Write() never take a lock and never observe a
+// moving table; Allocate()/Free() serialise on a mutex.  Races on a single
+// page (read vs. free of the same page, two writers to one page) remain
+// usage errors, exactly as with a real disk.
+//
+// Determinism contract for the parallel bulk-load pipeline: the page id
+// returned by Allocate() depends only on the *sequence* of prior
+// Allocate()/Free() calls.  Loaders keep that sequence on one coordinating
+// thread (workers only Read, and Write to pages handed to them), which
+// makes an 8-thread build byte-identical to a serial one.
 
 #ifndef PRTREE_IO_BLOCK_DEVICE_H_
 #define PRTREE_IO_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -42,51 +50,84 @@ inline constexpr size_t kDefaultBlockSize = 4096;
 class BlockDevice {
  public:
   explicit BlockDevice(size_t block_size = kDefaultBlockSize);
+  ~BlockDevice();
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
 
   size_t block_size() const { return block_size_; }
 
-  /// Allocates a zeroed block and returns its id.  Reuses freed blocks.
+  /// Allocates a zeroed block and returns its id.  Reuses freed blocks
+  /// (LIFO), so the result is a pure function of the preceding
+  /// Allocate/Free call sequence.  Thread-safe.
   PageId Allocate();
 
   /// Returns `page` to the free list.  The block's contents are discarded.
+  /// Thread-safe (but freeing a page another thread is reading is a usage
+  /// error, as on a real disk).
   void Free(PageId page);
 
   /// Copies the block into `buf` (block_size() bytes).  Counts one read.
-  /// Safe to call from multiple threads concurrently.
+  /// Lock-free; safe to call from multiple threads concurrently.
   Status Read(PageId page, void* buf) const;
 
   /// Copies `buf` (block_size() bytes) into the block.  Counts one write.
+  /// Lock-free; concurrent writes to *distinct* pages are safe (the
+  /// parallel node serializers rely on this).
   Status Write(PageId page, const void* buf);
 
   /// Number of blocks currently allocated (live).
-  size_t num_allocated() const { return allocated_; }
+  size_t num_allocated() const;
 
   /// High-water mark of live blocks — the paper's "disk blocks occupied".
-  size_t peak_allocated() const { return peak_allocated_; }
+  size_t peak_allocated() const;
 
   /// Point-in-time snapshot of the I/O counters (atomic per counter).
   IoStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
   /// Makes every subsequent Read of `page` fail with an IoError, simulating
-  /// a bad sector.  Test-only.
-  void InjectReadFault(PageId page) { read_faults_.insert(page); }
-  void ClearFaults() { read_faults_.clear(); }
+  /// a bad sector.  Test-only; not safe concurrently with Read().
+  void InjectReadFault(PageId page) {
+    read_faults_.insert(page);
+    fault_count_.store(read_faults_.size(), std::memory_order_release);
+  }
+  void ClearFaults() {
+    read_faults_.clear();
+    fault_count_.store(0, std::memory_order_release);
+  }
 
  private:
-  bool IsLive(PageId page) const;
+  // Two-level stable storage.  Brick 0 holds pages [0, 2^kBrick0Bits);
+  // brick k >= 1 holds [2^(kBrick0Bits+k-1), 2^(kBrick0Bits+k)).  Brick
+  // pointers are published with release stores and never move, so readers
+  // index them without locks while the device grows.
+  static constexpr int kBrick0Bits = 10;
+  static constexpr int kMaxBricks = 24;  // covers > 2^32 pages
 
-  size_t block_size_;
-  std::vector<std::unique_ptr<std::byte[]>> blocks_;
-  std::vector<bool> live_;
-  std::vector<PageId> free_list_;
-  size_t allocated_ = 0;
-  size_t peak_allocated_ = 0;
+  struct PageSlot {
+    std::unique_ptr<std::byte[]> data;  // set once (under mu_), then stable
+    std::atomic<bool> live{false};
+  };
+
+  static int BrickOf(PageId page, size_t* offset);
+
+  /// Slot lookup for a page id known to be < num_pages_.
+  PageSlot& Slot(PageId page) const;
+
+  /// True and yields the slot iff `page` was ever created and is live.
+  PageSlot* LiveSlot(PageId page) const;
+
+  const size_t block_size_;
+  mutable std::mutex mu_;  // guards allocation state and brick growth
+  std::atomic<PageSlot*> bricks_[kMaxBricks] = {};
+  std::atomic<size_t> num_pages_{0};  // pages ever created (monotonic)
+  std::vector<PageId> free_list_;     // guarded by mu_
+  size_t allocated_ = 0;              // guarded by mu_
+  size_t peak_allocated_ = 0;         // guarded by mu_
   mutable AtomicIoStats stats_;
-  std::unordered_set<PageId> read_faults_;
+  std::unordered_set<PageId> read_faults_;  // test-only, see InjectReadFault
+  std::atomic<size_t> fault_count_{0};
 };
 
 }  // namespace prtree

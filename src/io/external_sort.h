@@ -5,6 +5,13 @@
 // Run formation loads M bytes of records at a time, sorts them in memory and
 // writes sorted runs; merging combines up to M/block_size - 1 runs per pass
 // through a tournament (priority queue) until one run remains.
+//
+// Parallelism: when env.pool is set, each run is sorted with ParallelSort —
+// the run boundaries, the merge plan and every device allocation stay on
+// the calling thread in the same order as a serial sort, so the output
+// stream (and the device's allocation history) is identical for any thread
+// count.  The tournament additionally tie-breaks equal records on the run
+// index, making the merge stable even for non-total comparators.
 
 #ifndef PRTREE_IO_EXTERNAL_SORT_H_
 #define PRTREE_IO_EXTERNAL_SORT_H_
@@ -17,6 +24,7 @@
 #include "io/stream.h"
 #include "io/work_env.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace prtree {
 
@@ -24,7 +32,9 @@ namespace prtree {
 /// working memory, counting all block transfers on env.device.
 ///
 /// \tparam T    trivially copyable record type.
-/// \tparam Less strict weak ordering over T.
+/// \tparam Less strict weak ordering over T.  Use a total order (secondary
+///         key, e.g. the record id) if the result must not depend on
+///         env.pool — see ParallelSort.
 template <typename T, typename Less>
 Stream<T> ExternalSort(WorkEnv env, Stream<T>* input, Less less) {
   input->Flush();
@@ -34,7 +44,8 @@ Stream<T> ExternalSort(WorkEnv env, Stream<T>* input, Less less) {
   const size_t fan_in = std::max<size_t>(
       2, env.memory_bytes / env.device->block_size() - 1);
 
-  // Pass 0: run formation.
+  // Pass 0: run formation.  The pool accelerates the in-memory sort of
+  // each run; reads and run writes stay on this thread, in input order.
   std::vector<Stream<T>> runs;
   {
     typename Stream<T>::Reader reader(input);
@@ -45,7 +56,7 @@ Stream<T> ExternalSort(WorkEnv env, Stream<T>* input, Less less) {
       while (!reader.Done() && buf.size() < run_records) {
         buf.push_back(reader.Next());
       }
-      std::sort(buf.begin(), buf.end(), less);
+      ParallelSort(env.pool, buf.data(), buf.size(), less);
       Stream<T> run(env.device);
       run.Append(buf);
       run.Flush();
@@ -70,8 +81,14 @@ Stream<T> ExternalSort(WorkEnv env, Stream<T>* input, Less less) {
             std::make_unique<typename Stream<T>::Reader>(&runs[r]));
       }
       auto heap_greater = [&](size_t a, size_t b) {
-        // std::priority_queue is a max-heap; invert to pop the least record.
-        return less(readers[b]->Peek(), readers[a]->Peek());
+        // std::priority_queue is a max-heap; invert to pop the least
+        // record.  Equal records pop lowest-run-first (a stable merge), so
+        // the pass is deterministic even for non-total comparators.
+        const T& ra = readers[a]->Peek();
+        const T& rb = readers[b]->Peek();
+        if (less(rb, ra)) return true;
+        if (less(ra, rb)) return false;
+        return a > b;
       };
       std::priority_queue<size_t, std::vector<size_t>,
                           decltype(heap_greater)>

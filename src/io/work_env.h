@@ -11,6 +11,8 @@
 
 namespace prtree {
 
+class ThreadPool;  // util/parallel.h
+
 /// Memory budget the paper grants the external-memory library (§3.1).
 inline constexpr size_t kDefaultMemoryBudget = 64ull << 20;  // 64 MB
 
@@ -24,6 +26,14 @@ inline constexpr size_t kDefaultMemoryBudget = 64ull << 20;  // 64 MB
 struct WorkEnv {
   BlockDevice* device = nullptr;
   size_t memory_bytes = kDefaultMemoryBudget;
+
+  /// Optional worker pool for the CPU-heavy build stages (run sorting,
+  /// pseudo-PR-tree recursion, node serialization).  Null means serial.
+  /// Never changes *what* is built: all sizing thresholds derive from
+  /// memory_bytes alone, and every loader keeps its device allocations in
+  /// deterministic order, so a pooled build is byte-identical to a serial
+  /// one (see rtree/bulk_loader.h).
+  ThreadPool* pool = nullptr;
 
   /// Number of records of type T that fit in memory (the paper's M).
   template <typename T>

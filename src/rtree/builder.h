@@ -5,6 +5,13 @@
 // write runs of records as full leaves, then repeatedly pack each level's
 // (MBR, page) entries into parent nodes until a single root remains
 // ("bottom-up level-by-level", §1.1 [10, 15, 18]).
+//
+// Thread-safe page-allocation path: PackLevel/PackUpward accept a
+// ThreadPool.  Page ids are still allocated on the calling thread in entry
+// order (so the packed tree is byte-identical to a serial pack), but the
+// nodes themselves — MBR computation and the block writes — are serialized
+// concurrently by pool tasks, each writing its own preallocated pages with
+// no shared lock (BlockDevice::Write is lock-free for distinct pages).
 
 #ifndef PRTREE_RTREE_BUILDER_H_
 #define PRTREE_RTREE_BUILDER_H_
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "rtree/rtree.h"
+#include "util/parallel.h"
 
 namespace prtree {
 
@@ -74,13 +82,50 @@ class NodeWriter {
 };
 
 /// \brief Packs consecutive runs of `children` into parent nodes at `level`.
+///
+/// With a pool, the nodes' page ids are preallocated in order on the
+/// calling thread and the node blocks are formatted and written by pool
+/// tasks — byte-identical output, concurrent serialization.
 template <int D>
 std::vector<LevelEntry<D>> PackLevel(BlockDevice* device,
                                      const std::vector<LevelEntry<D>>& children,
-                                     int level) {
-  NodeWriter<D> writer(device, level);
-  for (const auto& child : children) writer.Add(child.mbr, child.page);
-  return writer.Finish();
+                                     int level, ThreadPool* pool = nullptr) {
+  const size_t n = children.size();
+  const size_t cap = NodeCapacity<D>(device->block_size());
+  const size_t num_nodes = (n + cap - 1) / cap;
+  if (pool == nullptr || pool->num_threads() <= 1 || num_nodes < 4) {
+    NodeWriter<D> writer(device, level);
+    for (const auto& child : children) writer.Add(child.mbr, child.page);
+    return writer.Finish();
+  }
+
+  std::vector<LevelEntry<D>> finished(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    finished[i].page = device->Allocate();
+  }
+  ThreadPool::TaskGroup group;
+  const size_t tasks = std::min(num_nodes, 2 * pool->num_threads());
+  for (size_t t = 0; t < tasks; ++t) {
+    size_t node_lo = num_nodes * t / tasks;
+    size_t node_hi = num_nodes * (t + 1) / tasks;
+    pool->Submit(&group, [device, &children, &finished, level, cap, n,
+                          node_lo, node_hi] {
+      std::vector<std::byte> buf(device->block_size());
+      for (size_t i = node_lo; i < node_hi; ++i) {
+        NodeView<D> node(buf.data(), device->block_size());
+        node.Format(static_cast<uint16_t>(level));
+        size_t lo = i * cap;
+        size_t hi = std::min(n, lo + cap);
+        for (size_t j = lo; j < hi; ++j) {
+          node.Append(children[j].mbr, children[j].page);
+        }
+        finished[i].mbr = node.ComputeMbr();
+        AbortIfError(device->Write(finished[i].page, buf.data()));
+      }
+    });
+  }
+  pool->WaitFor(&group);
+  return finished;
 }
 
 /// \brief Builds the upper levels of `tree` by repeatedly packing
@@ -90,16 +135,17 @@ std::vector<LevelEntry<D>> PackLevel(BlockDevice* device,
 /// \param tree       destination tree (must be empty).
 /// \param level0     the finished leaf level.
 /// \param data_count number of data records stored in the leaves.
+/// \param pool       optional pool for concurrent node serialization.
 template <int D>
 void PackUpward(RTree<D>* tree, std::vector<LevelEntry<D>> level0,
-                size_t data_count) {
+                size_t data_count, ThreadPool* pool = nullptr) {
   PRTREE_CHECK(tree->empty());
   PRTREE_CHECK(!level0.empty());
   std::vector<LevelEntry<D>> level = std::move(level0);
   int height = 0;
   while (level.size() > 1) {
     ++height;
-    level = PackLevel(tree->device(), level, height);
+    level = PackLevel(tree->device(), level, height, pool);
   }
   tree->SetRoot(level.front().page, height, data_count);
 }

@@ -1,0 +1,256 @@
+// Unified bulk-load entry point — one API over every loader in the paper.
+//
+// The PR-tree (§2), the packed Hilbert / four-dimensional Hilbert R-trees,
+// TGS and STR (§1.1) historically each exposed an ad-hoc BulkLoadXxx
+// function.  Benches, examples and the experiment harness now construct any
+// of them through BulkLoader: pick a LoaderKind, set BuildOptions (memory
+// budget, threads, PR-tree knobs), Build().  This header sits at the top of
+// the construction stack — it is the one place that includes the core and
+// baseline loaders together.
+//
+// Parallel builds are deterministic by construction.  BuildOptions.threads
+// (or an external pool) accelerates the CPU-heavy stages — in-memory run
+// sorting (util/parallel.h ParallelSort), the pseudo-PR-tree kd recursion,
+// the grid builder's base-case regions, upper-level node packing — while
+// the coordinating thread performs every device Allocate/Free in the same
+// order as a serial build and retires concurrently produced leaves in
+// input order.  Same input + same options => byte-identical tree for ANY
+// thread count, so every paper-figure bench stays reproducible; the
+// determinism suite (tests/bulk_loader_test.cc) walks both trees page by
+// page to enforce it.
+
+#ifndef PRTREE_RTREE_BULK_LOADER_H_
+#define PRTREE_RTREE_BULK_LOADER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "baselines/hilbert_rtree.h"
+#include "baselines/str_rtree.h"
+#include "baselines/tgs_rtree.h"
+#include "core/prtree.h"
+#include "io/stream.h"
+#include "io/work_env.h"
+#include "rtree/rtree.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace prtree {
+
+/// Construction options shared by every loader.
+struct BuildOptions {
+  /// Advisory working-memory budget (the paper's M, §3.1).
+  size_t memory_bytes = kDefaultMemoryBudget;
+
+  /// Worker threads for the CPU-heavy build stages.  1 = fully serial.
+  /// The built tree is byte-identical for any value (see file comment).
+  int threads = 1;
+
+  /// Optional externally owned pool; overrides `threads` when non-null
+  /// (callers sharing one pool across many builds avoid re-spawning
+  /// workers).
+  ThreadPool* pool = nullptr;
+
+  /// PR-tree only: priority-leaf capacity as a fraction of node capacity
+  /// (1.0 is the paper's structure; see PrTreeOptions).
+  double priority_fraction = 1.0;
+
+  /// PR-tree only: force the external grid algorithm even when a stage
+  /// fits in memory (tests exercise the grid path end to end with this).
+  bool force_grid = false;
+};
+
+/// The bulk-loading algorithms of the paper's evaluation (§3) plus STR.
+enum class LoaderKind { kPrTree, kHilbert, kHilbert4D, kTgs, kStr };
+
+/// All kinds, in the paper's presentation order.
+inline std::vector<LoaderKind> AllLoaderKinds() {
+  return {LoaderKind::kPrTree, LoaderKind::kHilbert, LoaderKind::kHilbert4D,
+          LoaderKind::kTgs, LoaderKind::kStr};
+}
+
+/// Lower-case identifier used by flags and JSON output.
+inline const char* LoaderKindName(LoaderKind kind) {
+  switch (kind) {
+    case LoaderKind::kPrTree:
+      return "pr";
+    case LoaderKind::kHilbert:
+      return "hilbert";
+    case LoaderKind::kHilbert4D:
+      return "hilbert4d";
+    case LoaderKind::kTgs:
+      return "tgs";
+    case LoaderKind::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+/// Parses "pr", "hilbert"/"h", "hilbert4d"/"h4", "tgs", "str".
+inline bool ParseLoaderKind(std::string_view name, LoaderKind* out) {
+  if (name == "pr") {
+    *out = LoaderKind::kPrTree;
+  } else if (name == "hilbert" || name == "h") {
+    *out = LoaderKind::kHilbert;
+  } else if (name == "hilbert4d" || name == "h4") {
+    *out = LoaderKind::kHilbert4D;
+  } else if (name == "tgs") {
+    *out = LoaderKind::kTgs;
+  } else if (name == "str") {
+    *out = LoaderKind::kStr;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// \brief Abstract bulk loader: builds an RTree<D> over a record stream.
+///
+/// Concrete loaders are created by MakeBulkLoader(); they are stateless
+/// and reusable (each Build() runs independently, spawning a private pool
+/// when opts.threads > 1 and no external pool was given).
+template <int D>
+class BulkLoader {
+ public:
+  explicit BulkLoader(const BuildOptions& opts) : opts_(opts) {}
+  virtual ~BulkLoader() = default;
+
+  BulkLoader(const BulkLoader&) = delete;
+  BulkLoader& operator=(const BulkLoader&) = delete;
+
+  virtual LoaderKind kind() const = 0;
+  const char* name() const { return LoaderKindName(kind()); }
+  const BuildOptions& options() const { return opts_; }
+
+  /// Bulk-loads `tree` (must be empty) over `input` on `device`.
+  Status Build(BlockDevice* device, Stream<Record<D>>* input,
+               RTree<D>* tree) const {
+    WorkEnv env{device, opts_.memory_bytes, opts_.pool};
+    std::unique_ptr<ThreadPool> owned;
+    if (env.pool == nullptr && opts_.threads > 1) {
+      owned = std::make_unique<ThreadPool>(opts_.threads);
+      env.pool = owned.get();
+    }
+    return DoBuild(env, input, tree);
+  }
+
+  /// Convenience overload: spills `input` to a stream on `device` first so
+  /// I/O accounting matches the stream entry point.
+  Status Build(BlockDevice* device, const std::vector<Record<D>>& input,
+               RTree<D>* tree) const {
+    Stream<Record<D>> stream(device);
+    stream.Append(input);
+    stream.Flush();
+    return Build(device, &stream, tree);
+  }
+
+ protected:
+  virtual Status DoBuild(WorkEnv env, Stream<Record<D>>* input,
+                         RTree<D>* tree) const = 0;
+
+  const BuildOptions opts_;
+};
+
+namespace internal {
+
+template <int D>
+class PrTreeLoader final : public BulkLoader<D> {
+ public:
+  using BulkLoader<D>::BulkLoader;
+  LoaderKind kind() const override { return LoaderKind::kPrTree; }
+
+ protected:
+  Status DoBuild(WorkEnv env, Stream<Record<D>>* input,
+                 RTree<D>* tree) const override {
+    PrTreeOptions popts;
+    popts.priority_fraction = this->opts_.priority_fraction;
+    popts.force_grid = this->opts_.force_grid;
+    return BulkLoadPrTree<D>(env, input, tree, popts);
+  }
+};
+
+template <int D>
+class HilbertLoader final : public BulkLoader<D> {
+ public:
+  using BulkLoader<D>::BulkLoader;
+  LoaderKind kind() const override { return LoaderKind::kHilbert; }
+
+ protected:
+  Status DoBuild(WorkEnv env, Stream<Record<D>>* input,
+                 RTree<D>* tree) const override {
+    if constexpr (D == 2) {
+      return BulkLoadHilbert(env, input, tree);
+    } else {
+      (void)env;
+      (void)input;
+      (void)tree;
+      return Status::InvalidArgument(
+          "the centre-curve Hilbert loader is 2-D only; use hilbert4d");
+    }
+  }
+};
+
+template <int D>
+class Hilbert4DLoader final : public BulkLoader<D> {
+ public:
+  using BulkLoader<D>::BulkLoader;
+  LoaderKind kind() const override { return LoaderKind::kHilbert4D; }
+
+ protected:
+  Status DoBuild(WorkEnv env, Stream<Record<D>>* input,
+                 RTree<D>* tree) const override {
+    return BulkLoadHilbert4D<D>(env, input, tree);
+  }
+};
+
+template <int D>
+class TgsLoaderAdapter final : public BulkLoader<D> {
+ public:
+  using BulkLoader<D>::BulkLoader;
+  LoaderKind kind() const override { return LoaderKind::kTgs; }
+
+ protected:
+  Status DoBuild(WorkEnv env, Stream<Record<D>>* input,
+                 RTree<D>* tree) const override {
+    return BulkLoadTgs<D>(env, input, tree);
+  }
+};
+
+template <int D>
+class StrLoader final : public BulkLoader<D> {
+ public:
+  using BulkLoader<D>::BulkLoader;
+  LoaderKind kind() const override { return LoaderKind::kStr; }
+
+ protected:
+  Status DoBuild(WorkEnv env, Stream<Record<D>>* input,
+                 RTree<D>* tree) const override {
+    return BulkLoadStr<D>(env, input, tree);
+  }
+};
+
+}  // namespace internal
+
+/// Factory: one construction entry point for every index variant.
+template <int D = 2>
+std::unique_ptr<BulkLoader<D>> MakeBulkLoader(
+    LoaderKind kind, const BuildOptions& opts = BuildOptions{}) {
+  switch (kind) {
+    case LoaderKind::kPrTree:
+      return std::make_unique<internal::PrTreeLoader<D>>(opts);
+    case LoaderKind::kHilbert:
+      return std::make_unique<internal::HilbertLoader<D>>(opts);
+    case LoaderKind::kHilbert4D:
+      return std::make_unique<internal::Hilbert4DLoader<D>>(opts);
+    case LoaderKind::kTgs:
+      return std::make_unique<internal::TgsLoaderAdapter<D>>(opts);
+    case LoaderKind::kStr:
+      return std::make_unique<internal::StrLoader<D>>(opts);
+  }
+  return nullptr;
+}
+
+}  // namespace prtree
+
+#endif  // PRTREE_RTREE_BULK_LOADER_H_

@@ -62,13 +62,20 @@ class BasicNodeView {
       : block_(block), capacity_(NodeCapacity<D>(block_size)) {}
 
   /// Initialises an empty node at the given tree level (0 = leaf).
+  ///
+  /// Zeroes the whole entry area, not just the header: node buffers are
+  /// reused across flushes (NodeWriter) and across serial/parallel
+  /// serialization paths, and the bulk-load determinism contract compares
+  /// node blocks byte for byte — unused trailing slots of a partial node
+  /// must hold deterministic zeros, never a previous node's stale entries.
   void Format(uint16_t level)
     requires Mutable
   {
     WriteU32(0, kNodeMagic);
     WriteU16(4, level);
     WriteU16(6, 0);  // count
-    std::memset(block_ + 8, 0, kNodeHeaderSize - 8);
+    std::memset(block_ + 8, 0,
+                kNodeHeaderSize - 8 + capacity_ * NodeEntrySize<D>());
   }
 
   bool IsFormatted() const { return ReadU32(0) == kNodeMagic; }

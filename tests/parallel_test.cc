@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <vector>
 
@@ -88,6 +90,78 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     // No Wait(): the destructor must let workers drain the queue.
   }
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskGroupTest, WaitForBlocksOnGroupOnly) {
+  ThreadPool pool(3);
+  std::atomic<int> grouped{0};
+  ThreadPool::TaskGroup group;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit(&group, [&grouped] { ++grouped; });
+  }
+  pool.Submit([] { /* ungrouped noise */ });
+  pool.WaitFor(&group);
+  EXPECT_EQ(grouped.load(), 20);
+  pool.Wait();
+}
+
+TEST(TaskGroupTest, NestedForkJoinFromWorkersDoesNotDeadlock) {
+  // The shape the parallel pseudo-PR-tree recursion uses: a worker task
+  // submits subtasks to the same pool and WaitFor()s them.  With a plain
+  // Wait this self-deadlocks; WaitFor must help drain the queue.
+  ThreadPool pool(2);  // fewer threads than the fork tree has nodes
+  std::atomic<int> leaves{0};
+  // 3 levels of binary forks => 8 leaves.
+  std::function<void(int)> fork = [&](int depth) {
+    if (depth == 0) {
+      ++leaves;
+      return;
+    }
+    ThreadPool::TaskGroup group;
+    pool.Submit(&group, [&fork, depth] { fork(depth - 1); });
+    fork(depth - 1);
+    pool.WaitFor(&group);
+  };
+  ThreadPool::TaskGroup root;
+  pool.Submit(&root, [&fork] { fork(3); });
+  pool.WaitFor(&root);
+  EXPECT_EQ(leaves.load(), 8);
+}
+
+TEST(ParallelSortTest, MatchesStdSortIncludingDuplicates) {
+  // Total order (value, index): the parallel result must be byte-identical
+  // to std::sort even with heavy duplication — the property the
+  // deterministic parallel bulk load rests on.
+  struct Item {
+    uint32_t key;
+    uint32_t index;
+  };
+  auto less = [](const Item& a, const Item& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.index < b.index;
+  };
+  const size_t kN = 100'000;  // above kParallelSortGrain
+  std::vector<Item> data(kN);
+  uint32_t state = 12345;
+  for (size_t i = 0; i < kN; ++i) {
+    state = state * 1664525u + 1013904223u;
+    data[i] = Item{state % 97, static_cast<uint32_t>(i)};  // many duplicates
+  }
+  std::vector<Item> expect = data;
+  std::sort(expect.begin(), expect.end(), less);
+  ThreadPool pool(4);
+  ParallelSort(&pool, data.data(), data.size(), less);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(data[i].key, expect[i].key) << i;
+    ASSERT_EQ(data[i].index, expect[i].index) << i;
+  }
+}
+
+TEST(ParallelSortTest, NullPoolFallsBackToStdSort) {
+  std::vector<int> data = {5, 3, 9, 1, 4};
+  ParallelSort(static_cast<ThreadPool*>(nullptr), data.data(), data.size(),
+               std::less<int>());
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
 }
 
 }  // namespace
