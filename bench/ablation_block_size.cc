@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
                       "leaves/query", "%T/B"});
   for (size_t block : {size_t{1024}, size_t{2048}, size_t{4096},
                        size_t{8192}, size_t{16384}}) {
-    BlockDevice dev(block);
+    MemoryBlockDevice dev(block);
     RTree<2> tree(&dev);
     WorkEnv env{&dev, ScaledMemoryBudget(n)};
     Stream<Record2> input(&dev);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                         131072u}) {
     size_t mem = static_cast<size_t>(mem_kb) << 10;
 
-    BlockDevice dev_pr(kDefaultBlockSize);
+    MemoryBlockDevice dev_pr(kDefaultBlockSize);
     RTree<2> pr(&dev_pr);
     Stream<Record2> in_pr(&dev_pr);
     in_pr.Append(data);
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     double pr_seconds = t.Seconds();
     uint64_t pr_io = dev_pr.stats().Total();
 
-    BlockDevice dev_h(kDefaultBlockSize);
+    MemoryBlockDevice dev_h(kDefaultBlockSize);
     RTree<2> h(&dev_h);
     Stream<Record2> in_h(&dev_h);
     in_h.Append(data);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"priority fill", "leaves/query", "%T/B", "leaves",
                       "space util"});
   for (double frac : {0.01, 0.1, 0.25, 0.5, 0.75, 1.0}) {
-    BlockDevice dev(kDefaultBlockSize);
+    MemoryBlockDevice dev(kDefaultBlockSize);
     RTree<2> tree(&dev);
     WorkEnv env{&dev, ScaledMemoryBudget(n)};
     PrTreeOptions popts;

@@ -52,13 +52,13 @@ int main(int argc, char** argv) {
   std::vector<Record2> extra(data.begin() + base_n, data.end());
 
   // (a) bulk-loaded PR-tree over the base set.
-  BlockDevice dev_a(kDefaultBlockSize);
+  MemoryBlockDevice dev_a(kDefaultBlockSize);
   RTree<2> tree_a(&dev_a);
   AbortIfError(BulkLoadPrTree<2>(
       WorkEnv{&dev_a, ScaledMemoryBudget(base_n)}, base, &tree_a));
 
   // (b) same, then Guttman-insert the extra records.
-  BlockDevice dev_b(kDefaultBlockSize);
+  MemoryBlockDevice dev_b(kDefaultBlockSize);
   RTree<2> tree_b(&dev_b);
   AbortIfError(BulkLoadPrTree<2>(
       WorkEnv{&dev_b, ScaledMemoryBudget(base_n)}, base, &tree_b));
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   for (const auto& rec : extra) updater.Insert(rec);
 
   // (c) logarithmic-method dynamic PR-tree over everything.
-  BlockDevice dev_c(kDefaultBlockSize);
+  MemoryBlockDevice dev_c(kDefaultBlockSize);
   DynamicPRTree<2> dynamic(WorkEnv{&dev_c, ScaledMemoryBudget(n)});
   for (const auto& rec : data) dynamic.Insert(rec);
 

@@ -24,11 +24,22 @@ struct VariantSet {
   std::vector<BuiltIndex> indexes;
 };
 
-inline VariantSet BuildAllVariants(const std::vector<Record2>& data) {
+/// `opts` forwards --threads and --device/--path; the built trees (and all
+/// reported I/O counts) are identical regardless of either.  With an
+/// explicit --path the file is suffixed per variant — every variant's
+/// device stays alive for the whole query phase, so they cannot share one
+/// file.
+inline VariantSet BuildAllVariants(const std::vector<Record2>& data,
+                                   const BenchOptions& opts = {}) {
   VariantSet set;
   set.variants = PaperVariants();
   for (Variant v : set.variants) {
-    set.indexes.push_back(BuildIndex(v, data));
+    DeviceSpec spec = opts.device;
+    if (!spec.path.empty()) {
+      spec.path += std::string(".") + LoaderKindName(v);
+    }
+    set.indexes.push_back(
+        BuildIndex(v, data, /*memory_bytes=*/0, opts.threads, spec));
   }
   return set;
 }

@@ -49,7 +49,7 @@ struct LoaderConfig {
 
 RunResult BuildOnce(const LoaderConfig& cfg, const std::vector<Record2>& data,
                     int threads) {
-  BlockDevice device(kDefaultBlockSize);
+  MemoryBlockDevice device(kDefaultBlockSize);
   RTree<2> tree(&device);
   BuildOptions opts;
   opts.threads = threads;

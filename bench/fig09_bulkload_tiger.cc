@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     double pr_io = 0;
     for (Variant v : {Variant::kHilbert, Variant::kHilbert4D,
                       Variant::kPrTree, Variant::kTgs}) {
-      BuiltIndex index = BuildIndex(v, data, 0, opts.threads);
+      BuiltIndex index = BuildIndex(v, data, 0, opts.threads, opts.device);
       double io = static_cast<double>(index.build_io.Total());
       if (v == Variant::kPrTree) pr_io = io;
       table.AddRow({VariantName(v), TablePrinter::FmtCount(index.build_io.Total()),

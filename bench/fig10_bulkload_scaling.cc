@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     int i = 0;
     for (Variant v : {Variant::kHilbert, Variant::kHilbert4D,
                       Variant::kPrTree, Variant::kTgs}) {
-      BuiltIndex index = BuildIndex(v, data, 0, opts.threads);
+      BuiltIndex index = BuildIndex(v, data, 0, opts.threads, opts.device);
       ios[i++] = static_cast<double>(index.build_io.Total());
     }
     table.AddRow({TablePrinter::FmtCount(n),

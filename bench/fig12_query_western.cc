@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
               "(n=%zu, %zu queries/point) ===\n", n, opts.queries);
   auto data = workload::MakeTigerLike(n, workload::TigerRegion::kWestern,
                                       opts.seed);
-  VariantSet set = BuildAllVariants(data);
+  VariantSet set = BuildAllVariants(data, opts);
   Rect2 extent = set.indexes.front().tree->Mbr();
 
   TablePrinter table(QueryTableHeaders(set, "query area %"));

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   for (double f : kFractions) {
     size_t n = static_cast<size_t>(f * static_cast<double>(full.size()));
     std::vector<Record2> data(full.begin(), full.begin() + n);
-    VariantSet set = BuildAllVariants(data);
+    VariantSet set = BuildAllVariants(data, opts);
     Rect2 extent = set.indexes.front().tree->Mbr();
     auto queries = workload::MakeSquareQueries(extent, 0.01, opts.queries,
                                                opts.seed + qseed++);

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
                         "H %T/B", "H4 %T/B"});
     for (double max_side : {0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
       auto data = workload::MakeSize(n, max_side, opts.seed);
-      VariantSet set = BuildAllVariants(data);
+      VariantSet set = BuildAllVariants(data, opts);
       auto queries = workload::MakeSquareQueries(
           set.indexes.front().tree->Mbr(), 0.01, opts.queries,
           opts.seed + qseed++);
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
                         "H4 %T/B"});
     for (double aspect : {1e1, 1e2, 1e3, 1e4, 1e5}) {
       auto data = workload::MakeAspect(n, aspect, opts.seed);
-      VariantSet set = BuildAllVariants(data);
+      VariantSet set = BuildAllVariants(data, opts);
       auto queries = workload::MakeSquareQueries(
           set.indexes.front().tree->Mbr(), 0.01, opts.queries,
           opts.seed + qseed++);
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
                         "H4 %T/B"});
     for (int c : {1, 3, 5, 7, 9}) {
       auto data = workload::MakeSkewed(n, c, opts.seed);
-      VariantSet set = BuildAllVariants(data);
+      VariantSet set = BuildAllVariants(data, opts);
       auto queries = workload::MakeSkewedQueries(0.01, c, opts.queries,
                                                  opts.seed + qseed++);
       AddQueryRow(set, queries, std::to_string(c), &table);

@@ -90,7 +90,7 @@ void BM_ExternalSortThroughput(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   auto data = workload::MakeSize(n, 0.01, 6);
   for (auto _ : state) {
-    BlockDevice dev(kDefaultBlockSize);
+    MemoryBlockDevice dev(kDefaultBlockSize);
     WorkEnv env{&dev, 1u << 20};
     Stream<Record2> sorted =
         ExternalSortVector(env, data, CoordLess<2>{0});
@@ -101,7 +101,7 @@ void BM_ExternalSortThroughput(benchmark::State& state) {
 BENCHMARK(BM_ExternalSortThroughput)->Arg(100000);
 
 void BM_PrTreeWindowQuery(benchmark::State& state) {
-  static BlockDevice dev(kDefaultBlockSize);
+  static MemoryBlockDevice dev(kDefaultBlockSize);
   static RTree<2>* tree = [] {
     auto data = workload::MakeTigerLike(
         200000, workload::TigerRegion::kEastern, 7);
@@ -131,7 +131,7 @@ void BM_BulkLoadPrTreeEndToEnd(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   auto data = workload::MakeSize(n, 0.01, 9);
   for (auto _ : state) {
-    BlockDevice dev(kDefaultBlockSize);
+    MemoryBlockDevice dev(kDefaultBlockSize);
     RTree<2> tree(&dev);
     AbortIfError(BulkLoadPrTree<2>(
         WorkEnv{&dev, harness::ScaledMemoryBudget(n)}, data, &tree));

@@ -25,7 +25,7 @@ int main() {
   const int kThreads = 4;
   auto roads = workload::MakeTigerLike(kSegments,
                                        workload::TigerRegion::kEastern, 7);
-  BlockDevice device;
+  MemoryBlockDevice device;
   RTree<2> tree(&device);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&device, 8u << 20}, roads, &tree));
   std::printf("indexed %zu road segments (%d levels)\n", tree.size(),

@@ -27,14 +27,14 @@ int main() {
   }
 
   // Path 1: bulk-load once, then Guttman-update in place.
-  BlockDevice dev_guttman;
+  MemoryBlockDevice dev_guttman;
   RTree<2> guttman(&dev_guttman);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev_guttman, 8u << 20}, fleet,
                                  &guttman));
   RTreeUpdater<2> updater(&guttman);
 
   // Path 2: logarithmic-method dynamic PR-tree.
-  BlockDevice dev_dynamic;
+  MemoryBlockDevice dev_dynamic;
   DynamicPRTree<2> dynamic(WorkEnv{&dev_dynamic, 8u << 20});
   for (const auto& rec : fleet) dynamic.Insert(rec);
 

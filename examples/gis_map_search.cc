@@ -18,7 +18,7 @@ using namespace prtree;  // NOLINT
 namespace {
 
 struct Index {
-  BlockDevice device;
+  MemoryBlockDevice device;
   RTree<2> tree{&device};
 };
 

@@ -9,14 +9,24 @@
 //   prtree_tool knn   --index=map.prt --point=0.5,0.5 --k=10
 //   prtree_tool stats --index=map.prt
 //
+// All index commands take --device=memory|file (default memory):
+//  * memory — the build runs on an in-memory device and the index file is
+//    a position-independent snapshot (SaveTree/LoadTree);
+//  * file — the index file IS a FileBlockDevice: build writes the tree
+//    straight to disk and records the root in the superblock (PersistTree),
+//    query/knn/stats reopen it in place (AttachTree) without copying a
+//    single page.  This is the out-of-core path: the index may exceed RAM.
+//
 // Dataset CSV format: one rectangle per line, "xmin,ymin,xmax,ymax,id".
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "io/file_block_device.h"
 #include "rtree/bulk_loader.h"
 #include "rtree/knn.h"
 #include "rtree/persist.h"
@@ -34,10 +44,13 @@ namespace {
       "  gen    --family=size|aspect|skewed|cluster|tiger --n=N "
       "[--param=P] [--seed=S] --out=FILE\n"
       "  build  --data=FILE --variant=pr|h|h4|tgs|str --index=FILE "
-      "[--memory-mb=M] [--threads=T]\n"
-      "  query  --index=FILE --window=xmin,ymin,xmax,ymax\n"
-      "  knn    --index=FILE --point=x,y [--k=K]\n"
-      "  stats  --index=FILE\n");
+      "[--memory-mb=M] [--threads=T] [--device=memory|file]\n"
+      "  query  --index=FILE --window=xmin,ymin,xmax,ymax "
+      "[--device=memory|file]\n"
+      "  knn    --index=FILE --point=x,y [--k=K] [--device=memory|file]\n"
+      "  stats  --index=FILE [--device=memory|file]\n"
+      "--device=memory treats the index file as a snapshot; --device=file "
+      "treats it\nas a block device and operates on it in place.\n");
   std::exit(2);
 }
 
@@ -135,10 +148,17 @@ std::vector<Record2> ReadCsv(const std::string& path) {
   return data;
 }
 
+std::string DeviceKindOrDie(const std::map<std::string, std::string>& flags) {
+  std::string kind = FlagOr(flags, "device", "memory");
+  if (kind != "memory" && kind != "file") Usage();
+  return kind;
+}
+
 int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::string data_path = FlagOr(flags, "data", "");
   std::string index_path = FlagOr(flags, "index", "");
   std::string variant = FlagOr(flags, "variant", "pr");
+  std::string device_kind = DeviceKindOrDie(flags);
   size_t memory_mb =
       std::strtoull(FlagOr(flags, "memory-mb", "64").c_str(), nullptr, 10);
   int threads = static_cast<int>(
@@ -148,19 +168,35 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   auto data = ReadCsv(data_path);
   std::printf("loaded %zu rectangles from %s\n", data.size(),
               data_path.c_str());
-  BlockDevice device;
-  RTree<2> tree(&device);
+  std::unique_ptr<BlockDevice> device;
+  if (device_kind == "file") {
+    // The index file is the device: the tree is built straight into it.
+    std::unique_ptr<FileBlockDevice> fdev;
+    FileDeviceOptions fopts;
+    fopts.truncate = true;
+    Status st = FileBlockDevice::Open(index_path, fopts, &fdev);
+    if (!st.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    device = std::move(fdev);
+  } else {
+    device = std::make_unique<MemoryBlockDevice>();
+  }
+  RTree<2> tree(device.get());
   LoaderKind kind;
   if (!ParseLoaderKind(variant, &kind)) Usage();
   BuildOptions opts;
   opts.memory_bytes = memory_mb << 20;
   opts.threads = threads < 1 ? 1 : threads;
-  Status st = MakeBulkLoader<2>(kind, opts)->Build(&device, data, &tree);
+  Status st = MakeBulkLoader<2>(kind, opts)->Build(device.get(), data, &tree);
   if (!st.ok()) {
     std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  st = SaveTree(tree, index_path);
+  st = device_kind == "file"
+           ? PersistTree(tree, static_cast<FileBlockDevice*>(device.get()))
+           : SaveTree(tree, index_path);
   if (!st.ok()) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;
@@ -171,19 +207,44 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
       "utilisation, %llu build I/Os -> %s\n",
       variant.c_str(), tree.size(), tree.height(),
       static_cast<unsigned long long>(ts.num_nodes), 100 * ts.utilization,
-      static_cast<unsigned long long>(device.stats().Total()),
+      static_cast<unsigned long long>(device->stats().Total()),
       index_path.c_str());
   return 0;
 }
 
-RTree<2> LoadIndexOrDie(BlockDevice* device, const std::string& path) {
-  RTree<2> tree(device);
-  Status st = LoadTree(path, &tree);
+/// An opened index: the device keeps the pages alive, the tree points at
+/// the root.  Memory kind restores a snapshot; file kind reopens in place.
+struct IndexHandle {
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<RTree<2>> tree;
+};
+
+IndexHandle OpenIndexOrDie(const std::map<std::string, std::string>& flags) {
+  std::string path = FlagOr(flags, "index", "");
+  if (path.empty()) Usage();
+  IndexHandle h;
+  Status st;
+  if (DeviceKindOrDie(flags) == "file") {
+    std::unique_ptr<FileBlockDevice> fdev;
+    FileDeviceOptions fopts;
+    fopts.must_exist = true;  // a typo must not create a stray device file
+    st = FileBlockDevice::Open(path, fopts, &fdev);
+    if (st.ok()) {
+      h.device = std::move(fdev);
+      h.tree = std::make_unique<RTree<2>>(h.device.get());
+      st = AttachTree(static_cast<FileBlockDevice*>(h.device.get()),
+                      h.tree.get());
+    }
+  } else {
+    h.device = std::make_unique<MemoryBlockDevice>();
+    h.tree = std::make_unique<RTree<2>>(h.device.get());
+    st = LoadTree(path, h.tree.get());
+  }
   if (!st.ok()) {
     std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
     std::exit(1);
   }
-  return tree;
+  return h;
 }
 
 int CmdQuery(const std::map<std::string, std::string>& flags) {
@@ -192,8 +253,8 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   if (index_path.empty() || window.empty()) Usage();
   auto c = ParseDoubles(window, 4);
 
-  BlockDevice device;
-  RTree<2> tree = LoadIndexOrDie(&device, index_path);
+  IndexHandle h = OpenIndexOrDie(flags);
+  RTree<2>& tree = *h.tree;
   Rect2 w = MakeRect(c[0], c[1], c[2], c[3]);
   size_t shown = 0;
   QueryStats qs = tree.Query(w, [&](const Record2& rec) {
@@ -218,8 +279,8 @@ int CmdKnn(const std::map<std::string, std::string>& flags) {
   if (index_path.empty() || point.empty()) Usage();
   auto c = ParseDoubles(point, 2);
 
-  BlockDevice device;
-  RTree<2> tree = LoadIndexOrDie(&device, index_path);
+  IndexHandle h = OpenIndexOrDie(flags);
+  RTree<2>& tree = *h.tree;
   QueryStats qs;
   auto neighbors = KnnSearch<2>(tree, {c[0], c[1]}, k, &qs);
   for (const auto& nb : neighbors) {
@@ -232,10 +293,8 @@ int CmdKnn(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdStats(const std::map<std::string, std::string>& flags) {
-  std::string index_path = FlagOr(flags, "index", "");
-  if (index_path.empty()) Usage();
-  BlockDevice device;
-  RTree<2> tree = LoadIndexOrDie(&device, index_path);
+  IndexHandle h = OpenIndexOrDie(flags);
+  RTree<2>& tree = *h.tree;
   Status st = ValidateTree(tree);
   TreeStats ts = tree.ComputeStats();
   std::printf("records:       %zu\n", tree.size());

@@ -76,7 +76,7 @@ int main() {
   std::printf("joining %zu road segments with %zu hazard zones...\n",
               roads.size(), zones.size());
 
-  BlockDevice dev_a, dev_b;
+  MemoryBlockDevice dev_a, dev_b;
   RTree<2> tree_a(&dev_a), tree_b(&dev_b);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev_a, 8u << 20}, roads, &tree_a));
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev_b, 8u << 20}, zones, &tree_b));

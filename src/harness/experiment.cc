@@ -1,9 +1,13 @@
 #include "harness/experiment.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
 #include "io/buffer_pool.h"
+#include "io/file_block_device.h"
 #include "rtree/bulk_loader.h"
 #include "util/timer.h"
 
@@ -39,10 +43,48 @@ size_t ScaledMemoryBudget(size_t n) {
   return std::max<size_t>(data_bytes / 9, 2u << 20);
 }
 
+std::unique_ptr<BlockDevice> OpenDeviceOrDie(const DeviceSpec& spec,
+                                             size_t block_size) {
+  if (spec.kind == "memory") {
+    return std::make_unique<MemoryBlockDevice>(block_size);
+  }
+  if (spec.kind != "file") {
+    std::fprintf(stderr, "unknown device kind '%s' (memory|file)\n",
+                 spec.kind.c_str());
+    std::exit(2);
+  }
+  std::string path = spec.path;
+  const bool anonymous = path.empty();
+  if (anonymous) {
+    // mkstemp: exclusive creation under an unpredictable name, so the
+    // device never lands on a stale path from a previous run.  (The name
+    // is then reopened by FileBlockDevice::Open — fine for a bench
+    // harness, not a hardened API.)
+    path = "/tmp/prtree_harness.XXXXXX";
+    int tfd = ::mkstemp(path.data());
+    if (tfd < 0) {
+      std::fprintf(stderr, "cannot create temp device file: %s\n",
+                   std::strerror(errno));
+      std::exit(2);
+    }
+    ::close(tfd);
+  }
+  FileDeviceOptions fopts;
+  fopts.block_size = block_size;
+  fopts.truncate = true;
+  std::unique_ptr<FileBlockDevice> dev;
+  AbortIfError(FileBlockDevice::Open(path, fopts, &dev));
+  // Anonymous backing: unlink while the fd stays open, so nothing is left
+  // behind even on a crashed run.
+  if (anonymous) ::unlink(path.c_str());
+  return dev;
+}
+
 BuiltIndex BuildIndex(Variant variant, const std::vector<Record2>& data,
-                      size_t memory_bytes, int threads) {
+                      size_t memory_bytes, int threads,
+                      const DeviceSpec& device) {
   BuiltIndex out;
-  out.device = std::make_unique<BlockDevice>(kDefaultBlockSize);
+  out.device = OpenDeviceOrDie(device, kDefaultBlockSize);
   out.tree = std::make_unique<RTree<2>>(out.device.get());
   if (memory_bytes == 0) memory_bytes = ScaledMemoryBudget(data.size());
   BuildOptions bopts;
@@ -126,12 +168,21 @@ BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n) {
     } else if (parse("--threads=", &value)) {
       opts.threads = static_cast<int>(std::strtol(value, nullptr, 10));
       if (opts.threads < 1) opts.threads = 1;
+    } else if (parse("--device=", &value)) {
+      opts.device.kind = value;
+      if (opts.device.kind != "memory" && opts.device.kind != "file") {
+        std::fprintf(stderr, "--device must be memory or file\n");
+        std::exit(2);
+      }
+    } else if (parse("--path=", &value)) {
+      opts.device.path = value;
     } else if (std::strncmp(arg, "--family=", 9) == 0) {
       // Consumed by fig15; ignore here.
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--n=N] [--queries=Q] "
-                   "[--seed=S] [--scale=F] [--threads=T]\n",
+                   "[--seed=S] [--scale=F] [--threads=T] "
+                   "[--device=memory|file] [--path=FILE]\n",
                    arg, argv[0]);
       std::exit(2);
     }

@@ -1,13 +1,16 @@
 // Shared experiment harness for the figure/table benchmarks.
 //
 // Mirrors the paper's protocol (§3.1, §3.3):
-//  * every bulk load runs on a fresh simulated device with a memory budget
-//    scaled so data:memory stays near the paper's ~9:1 (574 MB of Eastern
-//    data against 64 MB for TPIE), keeping the external-memory behaviour of
+//  * every bulk load runs on a fresh device — in-memory by default, or
+//    file-backed with --device=file — with a memory budget scaled so
+//    data:memory stays near the paper's ~9:1 (574 MB of Eastern data
+//    against 64 MB for TPIE), keeping the external-memory behaviour of
 //    the algorithms intact at laptop-scale N;
 //  * build cost is reported as blocks read+written plus wall-clock seconds;
 //  * queries cache all internal nodes, so query cost == leaf blocks read,
-//    reported both raw and as a percentage of the optimal T/B.
+//    reported both raw and as a percentage of the optimal T/B.  I/O counts
+//    are backend-independent (docs/IO_MODEL.md); only wall time changes
+//    between memory and file runs.
 
 #ifndef PRTREE_HARNESS_EXPERIMENT_H_
 #define PRTREE_HARNESS_EXPERIMENT_H_
@@ -36,6 +39,17 @@ const char* VariantName(Variant v);
 /// The paper's four contenders, in its presentation order.
 std::vector<Variant> PaperVariants();
 
+/// \brief Which storage backend a harness run builds on.
+///
+/// kind "memory" (default) is MemoryBlockDevice; "file" is FileBlockDevice.
+/// With an empty path the file backend uses an anonymous temp file
+/// (unlinked immediately after open, so nothing survives the run); give a
+/// path to keep the device file around.
+struct DeviceSpec {
+  std::string kind = "memory";
+  std::string path;
+};
+
 /// \brief A bulk-loaded tree with its own device and measurements.
 struct BuiltIndex {
   std::unique_ptr<BlockDevice> device;
@@ -45,14 +59,21 @@ struct BuiltIndex {
   TreeStats tree_stats;
 };
 
+/// Opens a fresh device per `spec` (see DeviceSpec).  Aborts on file
+/// errors — harness-only convenience, not library API.
+std::unique_ptr<BlockDevice> OpenDeviceOrDie(const DeviceSpec& spec,
+                                             size_t block_size);
+
 /// \brief Bulk-loads `variant` over `data` on a fresh device.
 ///
 /// `memory_bytes` == 0 selects the paper-proportional budget
 /// (max(data/9, 2 MB)).  `threads` > 1 parallelises the build through the
 /// BulkLoader pipeline; the tree (and its I/O counts) are identical for
-/// any value, only build_seconds changes.
+/// any value, only build_seconds changes.  `device` picks the backend; the
+/// tree, query answers and I/O counts are identical across backends too.
 BuiltIndex BuildIndex(Variant variant, const std::vector<Record2>& data,
-                      size_t memory_bytes = 0, int threads = 1);
+                      size_t memory_bytes = 0, int threads = 1,
+                      const DeviceSpec& device = {});
 
 /// Paper-proportional memory budget for a dataset of `n` records.
 size_t ScaledMemoryBudget(size_t n);
@@ -81,6 +102,9 @@ QueryMeasurement MeasureQueries(const BuiltIndex& index,
 ///   --scale=<double>    multiplies --n (quick way to approach paper scale)
 ///   --threads=<count>   build threads (default 1; results are identical,
 ///                       only wall-clock changes)
+///   --device=<kind>     storage backend: memory (default) or file
+///   --path=<file>       file backend only: device file path (default: an
+///                       anonymous temp file removed at exit)
 struct BenchOptions {
   size_t n = 0;
   size_t queries = 100;
@@ -88,6 +112,7 @@ struct BenchOptions {
   uint64_t seed = 1;
   double scale = 1.0;
   int threads = 1;
+  DeviceSpec device;
 
   size_t ScaledN() const {
     return static_cast<size_t>(static_cast<double>(n) * scale);

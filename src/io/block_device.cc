@@ -11,13 +11,18 @@ BlockDevice::BlockDevice(size_t block_size) : block_size_(block_size) {
   PRTREE_CHECK(block_size_ >= 64);
 }
 
-BlockDevice::~BlockDevice() {
+BlockDevice::~BlockDevice() = default;
+
+MemoryBlockDevice::MemoryBlockDevice(size_t block_size)
+    : BlockDevice(block_size) {}
+
+MemoryBlockDevice::~MemoryBlockDevice() {
   for (auto& brick : bricks_) {
     delete[] brick.load(std::memory_order_relaxed);
   }
 }
 
-int BlockDevice::BrickOf(PageId page, size_t* offset) {
+int MemoryBlockDevice::BrickOf(PageId page, size_t* offset) {
   if (page < (PageId{1} << kBrick0Bits)) {
     *offset = page;
     return 0;
@@ -27,7 +32,7 @@ int BlockDevice::BrickOf(PageId page, size_t* offset) {
   return msb - kBrick0Bits + 1;
 }
 
-BlockDevice::PageSlot& BlockDevice::Slot(PageId page) const {
+MemoryBlockDevice::PageSlot& MemoryBlockDevice::Slot(PageId page) const {
   size_t offset = 0;
   int brick = BrickOf(page, &offset);
   PageSlot* base = bricks_[brick].load(std::memory_order_acquire);
@@ -35,21 +40,21 @@ BlockDevice::PageSlot& BlockDevice::Slot(PageId page) const {
   return base[offset];
 }
 
-BlockDevice::PageSlot* BlockDevice::LiveSlot(PageId page) const {
+MemoryBlockDevice::PageSlot* MemoryBlockDevice::LiveSlot(PageId page) const {
   if (page >= num_pages_.load(std::memory_order_acquire)) return nullptr;
   PageSlot& slot = Slot(page);
   if (!slot.live.load(std::memory_order_acquire)) return nullptr;
   return &slot;
 }
 
-PageId BlockDevice::Allocate() {
+PageId MemoryBlockDevice::Allocate() {
   std::lock_guard<std::mutex> lock(mu_);
   PageId page;
   if (!free_list_.empty()) {
     page = free_list_.back();
     free_list_.pop_back();
     PageSlot& slot = Slot(page);
-    std::memset(slot.data.get(), 0, block_size_);
+    std::memset(slot.data.get(), 0, block_size());
     slot.live.store(true, std::memory_order_release);
   } else {
     size_t next = num_pages_.load(std::memory_order_relaxed);
@@ -66,7 +71,7 @@ PageId BlockDevice::Allocate() {
                            std::memory_order_release);
     }
     PageSlot& slot = Slot(page);
-    slot.data = std::make_unique<std::byte[]>(block_size_);  // zeroed
+    slot.data = std::make_unique<std::byte[]>(block_size());  // zeroed
     slot.live.store(true, std::memory_order_release);
     num_pages_.store(next + 1, std::memory_order_release);
   }
@@ -75,7 +80,7 @@ PageId BlockDevice::Allocate() {
   return page;
 }
 
-void BlockDevice::Free(PageId page) {
+void MemoryBlockDevice::Free(PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   PageSlot* slot = LiveSlot(page);
   PRTREE_CHECK(slot != nullptr);
@@ -85,39 +90,38 @@ void BlockDevice::Free(PageId page) {
   --allocated_;
 }
 
-size_t BlockDevice::num_allocated() const {
+size_t MemoryBlockDevice::num_allocated() const {
   std::lock_guard<std::mutex> lock(mu_);
   return allocated_;
 }
 
-size_t BlockDevice::peak_allocated() const {
+size_t MemoryBlockDevice::peak_allocated() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peak_allocated_;
 }
 
-Status BlockDevice::Read(PageId page, void* buf) const {
+Status MemoryBlockDevice::Read(PageId page, void* buf) const {
   const PageSlot* slot = LiveSlot(page);
   if (slot == nullptr) {
     return Status::IoError("read of unallocated page " + std::to_string(page));
   }
-  if (fault_count_.load(std::memory_order_acquire) != 0 &&
-      read_faults_.count(page) != 0) {
+  if (HasReadFault(page)) {
     return Status::IoError("injected read fault on page " +
                            std::to_string(page));
   }
-  std::memcpy(buf, slot->data.get(), block_size_);
-  stats_.CountRead();
+  std::memcpy(buf, slot->data.get(), block_size());
+  CountRead();
   return Status::OK();
 }
 
-Status BlockDevice::Write(PageId page, const void* buf) {
+Status MemoryBlockDevice::Write(PageId page, const void* buf) {
   PageSlot* slot = LiveSlot(page);
   if (slot == nullptr) {
     return Status::IoError("write of unallocated page " +
                            std::to_string(page));
   }
-  std::memcpy(slot->data.get(), buf, block_size_);
-  stats_.CountWrite();
+  std::memcpy(slot->data.get(), buf, block_size());
+  CountWrite();
   return Status::OK();
 }
 

@@ -1,25 +1,33 @@
-// Simulated block-addressable disk.
+// The block-device interface and its in-memory backend.
 //
 // The paper measures algorithms in the standard external-memory model: data
 // moves between disk and memory in blocks of B records, and the cost of an
-// algorithm is the number of block transfers (I/Os).  This device gives that
-// model a concrete, deterministic realisation: fixed-size blocks held in
-// memory, with exact read/write counters.  Using a simulated device rather
-// than the host filesystem removes OS page-cache noise, which the paper
-// itself identifies as the reason to report I/Os instead of seconds (§3.3).
+// algorithm is the number of block transfers (I/Os).  BlockDevice is the
+// abstract realisation of that model — fixed-size blocks addressed by
+// PageId, with exact read/write counters — and every layer above (buffer
+// pool, node views, loaders, queries) talks to it, never to a concrete
+// backend.  Two backends implement it:
 //
-// Thread safety: all operations may be called concurrently.  Blocks live in
-// a two-level table of geometrically sized "bricks" published through
-// atomic pointers, so Read()/Write() never take a lock and never observe a
-// moving table; Allocate()/Free() serialise on a mutex.  Races on a single
-// page (read vs. free of the same page, two writers to one page) remain
-// usage errors, exactly as with a real disk.
+//  * MemoryBlockDevice (this header): blocks held in RAM.  Deterministic
+//    and free of OS page-cache noise, which the paper itself identifies as
+//    the reason to report I/Os instead of seconds (§3.3).  The default for
+//    tests and the paper-figure benches.
+//  * FileBlockDevice (io/file_block_device.h): blocks mapped onto a single
+//    on-disk file via pread/pwrite, with a persistent superblock and an
+//    explicit Sync() durability barrier.  Indexes survive the process and
+//    may exceed RAM.
 //
-// Determinism contract for the parallel bulk-load pipeline: the page id
-// returned by Allocate() depends only on the *sequence* of prior
-// Allocate()/Free() calls.  Loaders keep that sequence on one coordinating
-// thread (workers only Read, and Write to pages handed to them), which
-// makes an 8-thread build byte-identical to a serial one.
+// Thread safety contract (all backends): Read()/Write() may be called
+// concurrently from any number of threads; Allocate()/Free() serialise
+// internally.  Races on a single page (read vs. free of the same page, two
+// writers to one page) remain usage errors, exactly as with a real disk.
+//
+// Determinism contract for the parallel bulk-load pipeline (all backends):
+// the page id returned by Allocate() depends only on the *sequence* of
+// prior Allocate()/Free() calls — a LIFO free list over a monotonically
+// grown page space.  Loaders keep that sequence on one coordinating thread
+// (workers only Read, and Write to pages handed to them), which makes an
+// 8-thread build byte-identical to a serial one on either backend.
 
 #ifndef PRTREE_IO_BLOCK_DEVICE_H_
 #define PRTREE_IO_BLOCK_DEVICE_H_
@@ -45,12 +53,15 @@ inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 /// Block size used throughout the paper's experiments (§3.1).
 inline constexpr size_t kDefaultBlockSize = 4096;
 
-/// \brief An in-memory array of fixed-size blocks with I/O accounting,
+/// \brief Abstract array of fixed-size blocks with I/O accounting,
 /// allocation/free-list management and test-only fault injection.
+///
+/// See the file comment for the thread-safety and determinism contracts
+/// every backend must honour.
 class BlockDevice {
  public:
-  explicit BlockDevice(size_t block_size = kDefaultBlockSize);
-  ~BlockDevice();
+  explicit BlockDevice(size_t block_size);
+  virtual ~BlockDevice();
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
@@ -60,29 +71,37 @@ class BlockDevice {
   /// Allocates a zeroed block and returns its id.  Reuses freed blocks
   /// (LIFO), so the result is a pure function of the preceding
   /// Allocate/Free call sequence.  Thread-safe.
-  PageId Allocate();
+  virtual PageId Allocate() = 0;
 
   /// Returns `page` to the free list.  The block's contents are discarded.
   /// Thread-safe (but freeing a page another thread is reading is a usage
   /// error, as on a real disk).
-  void Free(PageId page);
+  virtual void Free(PageId page) = 0;
 
   /// Copies the block into `buf` (block_size() bytes).  Counts one read.
-  /// Lock-free; safe to call from multiple threads concurrently.
-  Status Read(PageId page, void* buf) const;
+  /// Safe to call from multiple threads concurrently.
+  virtual Status Read(PageId page, void* buf) const = 0;
 
   /// Copies `buf` (block_size() bytes) into the block.  Counts one write.
-  /// Lock-free; concurrent writes to *distinct* pages are safe (the
-  /// parallel node serializers rely on this).
-  Status Write(PageId page, const void* buf);
+  /// Concurrent writes to *distinct* pages are safe (the parallel node
+  /// serializers rely on this).
+  virtual Status Write(PageId page, const void* buf) = 0;
 
   /// Number of blocks currently allocated (live).
-  size_t num_allocated() const;
+  virtual size_t num_allocated() const = 0;
 
   /// High-water mark of live blocks — the paper's "disk blocks occupied".
-  size_t peak_allocated() const;
+  virtual size_t peak_allocated() const = 0;
+
+  /// Durability barrier: flushes device metadata and data to stable
+  /// storage.  A no-op on the in-memory backend; an fsync (plus superblock
+  /// write-out) on the file backend.
+  virtual Status Sync() { return Status::OK(); }
 
   /// Point-in-time snapshot of the I/O counters (atomic per counter).
+  /// Counts client Read()/Write() calls only — backend-internal metadata
+  /// traffic (superblock, free-list maintenance) is never charged, so both
+  /// backends report identical I/Os for identical call sequences.
   IoStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
@@ -96,6 +115,40 @@ class BlockDevice {
     read_faults_.clear();
     fault_count_.store(0, std::memory_order_release);
   }
+
+ protected:
+  /// True iff a fault was injected for `page`.  Backends call this at the
+  /// top of Read() (cheap: one relaxed load when no fault is armed).
+  bool HasReadFault(PageId page) const {
+    return fault_count_.load(std::memory_order_acquire) != 0 &&
+           read_faults_.count(page) != 0;
+  }
+
+  void CountRead() const { stats_.CountRead(); }
+  void CountWrite() { stats_.CountWrite(); }
+
+ private:
+  const size_t block_size_;
+  mutable AtomicIoStats stats_;
+  std::unordered_set<PageId> read_faults_;  // test-only, see InjectReadFault
+  std::atomic<size_t> fault_count_{0};
+};
+
+/// \brief The in-memory backend: blocks live in a two-level table of
+/// geometrically sized "bricks" published through atomic pointers, so
+/// Read()/Write() never take a lock and never observe a moving table;
+/// Allocate()/Free() serialise on a mutex.
+class MemoryBlockDevice final : public BlockDevice {
+ public:
+  explicit MemoryBlockDevice(size_t block_size = kDefaultBlockSize);
+  ~MemoryBlockDevice() override;
+
+  PageId Allocate() override;
+  void Free(PageId page) override;
+  Status Read(PageId page, void* buf) const override;
+  Status Write(PageId page, const void* buf) override;
+  size_t num_allocated() const override;
+  size_t peak_allocated() const override;
 
  private:
   // Two-level stable storage.  Brick 0 holds pages [0, 2^kBrick0Bits);
@@ -118,16 +171,12 @@ class BlockDevice {
   /// True and yields the slot iff `page` was ever created and is live.
   PageSlot* LiveSlot(PageId page) const;
 
-  const size_t block_size_;
   mutable std::mutex mu_;  // guards allocation state and brick growth
   std::atomic<PageSlot*> bricks_[kMaxBricks] = {};
   std::atomic<size_t> num_pages_{0};  // pages ever created (monotonic)
   std::vector<PageId> free_list_;     // guarded by mu_
   size_t allocated_ = 0;              // guarded by mu_
   size_t peak_allocated_ = 0;         // guarded by mu_
-  mutable AtomicIoStats stats_;
-  std::unordered_set<PageId> read_faults_;  // test-only, see InjectReadFault
-  std::atomic<size_t> fault_count_{0};
 };
 
 }  // namespace prtree

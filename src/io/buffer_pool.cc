@@ -61,10 +61,11 @@ Status BufferPool::Pin(PageId page, PageGuard* out) {
       result = PageGuard(this, &shard, &frame);
     } else {
       ++shard.misses;
-      // The device read happens under the shard lock: on the simulated
-      // device a read is one memcpy, and serialising per shard guarantees
-      // a page is read at most once however many threads miss on it
-      // simultaneously.
+      // The device read happens under the shard lock, which guarantees a
+      // page is read at most once however many threads miss on it
+      // simultaneously.  On the memory backend a read is one memcpy; on
+      // the file backend it is a pread, so concurrent misses on *other*
+      // shards still proceed — only same-shard misses queue behind it.
       auto data = std::make_unique<std::byte[]>(device_->block_size());
       PRTREE_RETURN_NOT_OK(device_->Read(page, data.get()));
 

@@ -1,10 +1,11 @@
-// Sharded, pin-based LRU page cache.
+// Sharded, pin-based LRU page cache over any BlockDevice backend.
 //
 // The paper's query experiments cache all internal R-tree nodes (they occupy
 // at most a few MB), so a query's reported I/O count equals the number of
 // leaf blocks read (§3.3).  The buffer pool realises that protocol — hits
-// are free, misses cost one device read — and, since the concurrent query
-// engine landed, serves any number of querying threads at once:
+// are free, misses cost one device read (a memcpy on MemoryBlockDevice, a
+// real pread on FileBlockDevice, where a pinned frame genuinely shields a
+// disk page) — and serves any number of querying threads at once:
 //
 //  * the frame table is split into shards, each with its own mutex, so
 //    unrelated pages never contend on one lock;

@@ -1,0 +1,182 @@
+// The file-backed block device: pages mapped onto a single on-disk file.
+//
+// Layout.  File offset 0 holds the superblock (one block); device page p
+// lives at offset (p + 1) * block_size.  The superblock records the block
+// size, the allocation counters, the head of the free list and a small
+// application-metadata region (rtree/persist.h stores the tree root there,
+// so an index file is self-describing and reopenable).  The free list is
+// threaded through the freed pages themselves — each freed page's first
+// eight bytes hold a stamp {kFreePageMagic, next} — so it persists whole
+// regardless of length while the superblock stays a single page.
+//
+// Durability.  Data pages hit the file on every Write() (pwrite); metadata
+// (superblock) is written out by Sync(), which then fsync()s the file, and
+// best-effort on clean close when it changed.  There is no write-ahead
+// log, so crash recovery is bounded, not perfect: Open() restores the
+// allocation metadata recorded by the most recent superblock write.
+// Allocate/Free traffic after that write can leave the recorded free-list
+// chain partially unwalkable (stamps destroyed by reuse, the chain
+// shortened or extended) — Open() detects every such state and
+// conservatively treats whatever it cannot walk as allocated (a bounded
+// space leak, never reuse of a page that might hold data).  A page
+// *freed* after the last Sync has had its as-of-Sync
+// contents destroyed by the stamp; callers that need a consistent
+// reopenable image must Sync() after mutating (PersistTree does).  A
+// damaged superblock (bad magic/version/bounds, broken chain topology)
+// fails Open() with Corruption, and a failed Open() never writes to the
+// file.
+//
+// I/O accounting.  Only client Read()/Write() calls count toward stats();
+// internal metadata traffic (superblock write-out, free-list stamps,
+// zeroing of reused pages) is never charged.  A build or query therefore
+// reports exactly the same I/O numbers on this backend as on
+// MemoryBlockDevice — wall-clock time is where the backends differ, which
+// is why file-backed bench runs report both (docs/IO_MODEL.md).
+//
+// O_DIRECT.  FileDeviceOptions::direct_io requests kernel-page-cache bypass
+// where the platform supports it (block size must be a multiple of 512;
+// transfers go through a sector-aligned bounce buffer).  When the open with
+// O_DIRECT fails, the device silently falls back to buffered I/O —
+// direct_io() reports what was actually negotiated.
+//
+// Thread safety matches the BlockDevice contract: Read()/Write() run
+// concurrently (liveness check under a shared lock, then a plain
+// pread/pwrite); Allocate()/Free()/Sync() take the lock exclusively.
+
+#ifndef PRTREE_IO_FILE_BLOCK_DEVICE_H_
+#define PRTREE_IO_FILE_BLOCK_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "io/block_device.h"
+#include "util/status.h"
+
+namespace prtree {
+
+/// How to open the backing file.
+struct FileDeviceOptions {
+  /// 0 (default): a freshly created file uses kDefaultBlockSize and an
+  /// existing file's superblock size is accepted as-is.  Non-zero: a fresh
+  /// file uses this size, and opening an existing file whose superblock
+  /// disagrees fails with InvalidArgument.
+  size_t block_size = 0;
+
+  /// True: wipe any existing content and start an empty device.
+  /// False: open the existing file (it must have a valid superblock);
+  /// create an empty device only if the file does not exist.
+  bool truncate = false;
+
+  /// True: fail with NotFound instead of creating a missing file.  Set
+  /// this on read paths (reopening an index) so a mistyped path does not
+  /// leave a stray empty device behind.
+  bool must_exist = false;
+
+  /// Request O_DIRECT (page-cache bypass).  Best effort: silently degrades
+  /// to buffered I/O when unsupported; check direct_io() for the outcome.
+  bool direct_io = false;
+};
+
+/// \brief Block device backed by one on-disk file.  See the file comment
+/// for layout, durability and accounting semantics.
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Bytes available to SetUserMeta (fits the superblock with room to
+  /// spare at the minimum block size).
+  static constexpr size_t kUserMetaCapacity = 128;
+
+  /// Smallest supported block size: the superblock header plus the full
+  /// user-metadata region must fit in one block.
+  static constexpr size_t kMinBlockSize = 256;
+
+  /// Opens (or creates, per `opts`) the device at `path`.
+  static Status Open(const std::string& path, const FileDeviceOptions& opts,
+                     std::unique_ptr<FileBlockDevice>* out);
+
+  /// Closes the file, writing the superblock out first when metadata
+  /// changed since the last write (best effort, no fsync — call Sync()
+  /// when durability matters).  A device whose Open() failed, or that was
+  /// only read, never rewrites the file on close.
+  ~FileBlockDevice() override;
+
+  /// BlockDevice interface.  Note Allocate()/Free() have no error channel,
+  /// so an unrecoverable backend failure there (e.g. the filesystem runs
+  /// out of space mid-ftruncate) aborts, exactly as memory exhaustion
+  /// does on MemoryBlockDevice; fallible paths (Open/Read/Write/Sync)
+  /// report Status instead.
+  PageId Allocate() override;
+  void Free(PageId page) override;
+  Status Read(PageId page, void* buf) const override;
+  Status Write(PageId page, const void* buf) override;
+  size_t num_allocated() const override;
+  size_t peak_allocated() const override;
+
+  /// Writes the superblock and fsync()s the file.  After an OK Sync the
+  /// device state (pages, free list, counters, user metadata) survives a
+  /// crash and is recovered by Open.
+  Status Sync() override;
+
+  const std::string& path() const { return path_; }
+
+  /// Whether O_DIRECT is actually in effect (request may have degraded).
+  bool direct_io() const { return direct_io_; }
+
+  /// Stores up to kUserMetaCapacity opaque bytes in the superblock
+  /// (persisted by the next Sync or clean close).
+  Status SetUserMeta(const void* data, size_t len);
+
+  /// Copies the stored metadata into `buf` (capacity `cap`) and returns
+  /// its full length; 0 when none was ever set.
+  size_t GetUserMeta(void* buf, size_t cap) const;
+
+ private:
+  FileBlockDevice(size_t block_size, std::string path, int fd,
+                  bool direct_io);
+
+  /// Initialises an empty device (fresh superblock) or loads an existing
+  /// one from the superblock + free chain.
+  Status InitFresh();
+  Status LoadExisting();
+
+  /// Enables O_DIRECT iff a probe transfer through it succeeds (alignment
+  /// rules are enforced at I/O time, not at open time).  Called by Open()
+  /// after initialisation, before the device is published.
+  void NegotiateDirectIo();
+
+  /// Raw full-block file I/O at byte offset `off`, bouncing through an
+  /// aligned buffer under O_DIRECT.  Never touches the I/O counters.
+  Status PReadBlock(uint64_t off, void* buf) const;
+  Status PWriteBlock(uint64_t off, const void* buf);
+
+  uint64_t PageOffset(PageId page) const {
+    return (static_cast<uint64_t>(page) + 1) * block_size();
+  }
+
+  /// Serialises the current metadata into the superblock page.  Caller
+  /// holds mu_ exclusively (or is single-threaded, as in Open/dtor).
+  Status WriteSuperblockLocked();
+
+  const std::string path_;
+  const int fd_;
+  bool direct_io_;  // settled by NegotiateDirectIo() before publication
+
+  mutable std::shared_mutex mu_;      // guards all fields below
+  std::vector<uint8_t> live_;         // liveness per page ever created
+  std::vector<PageId> free_list_;     // LIFO; back() == on-disk chain head
+  size_t num_pages_ = 0;              // pages ever created (monotonic)
+  size_t file_pages_ = 0;             // pages the file's extent covers
+  size_t allocated_ = 0;
+  size_t peak_allocated_ = 0;
+  std::vector<std::byte> user_meta_;  // <= kUserMetaCapacity bytes
+  std::vector<std::byte> scratch_;    // zero/stamp block for Allocate/Free
+  bool init_ok_ = false;              // Open() completed successfully
+  bool meta_dirty_ = false;           // metadata changed since last write-out
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_FILE_BLOCK_DEVICE_H_

@@ -1,6 +1,9 @@
 // Execution environment for external-memory algorithms: the device plus the
 // main-memory budget M.  Mirrors the paper's experimental setup of a fixed
-// disk block size with 64 MB of memory available to TPIE (§3.1).
+// disk block size with 64 MB of memory available to TPIE (§3.1).  The
+// device is the abstract BlockDevice interface — loaders run unchanged
+// (and produce identical bytes and I/O counts) over the in-memory backend
+// or a FileBlockDevice whose pages live on real disk.
 
 #ifndef PRTREE_IO_WORK_ENV_H_
 #define PRTREE_IO_WORK_ENV_H_

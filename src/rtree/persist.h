@@ -1,24 +1,31 @@
-// Tree snapshots: save a bulk-loaded (or updated) R-tree to a host file
-// and load it back onto any device.
+// Tree persistence.  An adopted index library must outlive the process;
+// the paper's trees live on disk by construction (§3.1).  Two mechanisms:
 //
-// An adopted index library must outlive the process; the paper's trees
-// live on disk by construction (§3.1).  The snapshot format is
-// position-independent: pages are written in BFS order and child PageIds
-// are remapped to BFS indices on save and back to freshly allocated pages
-// on load, so a snapshot can be restored onto a device with any allocation
-// state (only the block size must match).
+// 1. Snapshots (SaveTree/LoadTree): copy a tree out to a standalone host
+//    file and restore it onto ANY device — either backend, any allocation
+//    state.  The format is position-independent: pages are written in BFS
+//    order and child PageIds are remapped to BFS indices on save and back
+//    to freshly allocated pages on load (only the block size must match).
+//    Layout: header { magic, version, block_size, D, height, page_count,
+//    record_count } followed by page_count raw blocks.
 //
-// Layout:  header { magic, version, block_size, D, height, page_count,
-//                   record_count } followed by page_count raw blocks.
+// 2. In-place reopen (PersistTree/AttachTree): when the tree already lives
+//    on a FileBlockDevice, the device file IS the index.  PersistTree
+//    stores the tree's root metadata in the device's superblock and
+//    Sync()s; AttachTree reads it back after reopening the file, with no
+//    page copying or remapping — the crash-reopen path.  This is how the
+//    CLI and the examples open file-backed indexes.
 
 #ifndef PRTREE_RTREE_PERSIST_H_
 #define PRTREE_RTREE_PERSIST_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "io/file_block_device.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
@@ -38,6 +45,28 @@ struct SnapshotHeader {
   uint32_t page_count;
   uint64_t record_count;
 };
+
+inline constexpr uint32_t kTreeMetaMagic = 0x5052544Du;  // "PRTM"
+inline constexpr uint32_t kTreeMetaVersion = 1;
+
+/// Root metadata stored in a FileBlockDevice's superblock user-meta region
+/// by PersistTree (48 bytes, well under kUserMetaCapacity).  The
+/// allocation counters snapshot the device at persist time: any
+/// Allocate/Free after PersistTree (updates allocate and free pages) makes
+/// the record stale, and AttachTree detects the mismatch rather than
+/// attaching to a root that may have moved.
+struct TreeMetaRecord {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t dimension;
+  int32_t height;
+  uint32_t root;
+  uint32_t reserved;
+  uint64_t record_count;
+  uint64_t allocated;       // device num_allocated() at persist time
+  uint64_t peak_allocated;  // device peak_allocated() at persist time
+};
+static_assert(sizeof(TreeMetaRecord) <= FileBlockDevice::kUserMetaCapacity);
 
 }  // namespace persist_internal
 
@@ -171,6 +200,80 @@ Status LoadTree(const std::string& path, RTree<D>* tree) {
   }
   std::fclose(f);
   tree->SetRoot(pages[0], header.height, header.record_count);
+  return Status::OK();
+}
+
+/// \brief Records `tree`'s root metadata in its FileBlockDevice's
+/// superblock and Sync()s, making the device file a self-describing,
+/// reopenable index.  The tree must live on `device`.
+template <int D>
+Status PersistTree(const RTree<D>& tree, FileBlockDevice* device) {
+  using persist_internal::TreeMetaRecord;
+  if (tree.device() != device) {
+    return Status::InvalidArgument("tree does not live on this device");
+  }
+  if (tree.empty()) {
+    return Status::InvalidArgument("cannot persist an empty tree");
+  }
+  TreeMetaRecord meta{persist_internal::kTreeMetaMagic,
+                      persist_internal::kTreeMetaVersion,
+                      static_cast<uint32_t>(D),
+                      tree.height(),
+                      tree.root(),
+                      0,
+                      tree.size(),
+                      device->num_allocated(),
+                      device->peak_allocated()};
+  PRTREE_RETURN_NOT_OK(device->SetUserMeta(&meta, sizeof(meta)));
+  return device->Sync();
+}
+
+/// \brief Reattaches `tree` (must be empty and constructed over `device`)
+/// to the root recorded by a prior PersistTree on the same file.  No pages
+/// move: the device file already holds the tree.
+template <int D>
+Status AttachTree(FileBlockDevice* device, RTree<D>* tree) {
+  using persist_internal::TreeMetaRecord;
+  if (tree->device() != device) {
+    return Status::InvalidArgument("tree is not constructed over this device");
+  }
+  if (!tree->empty()) {
+    return Status::InvalidArgument("output tree is not empty");
+  }
+  TreeMetaRecord meta{};
+  size_t len = device->GetUserMeta(&meta, sizeof(meta));
+  if (len < sizeof(meta)) {
+    return Status::NotFound("device holds no persisted tree metadata");
+  }
+  if (meta.magic != persist_internal::kTreeMetaMagic) {
+    return Status::Corruption("bad tree metadata magic");
+  }
+  if (meta.version != persist_internal::kTreeMetaVersion) {
+    return Status::Corruption("unsupported tree metadata version");
+  }
+  if (meta.dimension != static_cast<uint32_t>(D)) {
+    return Status::InvalidArgument("persisted tree dimension mismatch");
+  }
+  // Staleness check: updates after the last PersistTree allocate/free
+  // pages (a root split even moves the root), so the device's allocation
+  // state must still match the snapshot taken at persist time.
+  if (meta.allocated != device->num_allocated() ||
+      meta.peak_allocated != device->peak_allocated()) {
+    return Status::Corruption(
+        "tree metadata is stale (the device was mutated after the last "
+        "PersistTree) — re-run PersistTree before closing");
+  }
+  // And the recorded root must be a live, formatted node.
+  std::vector<std::byte> buf(tree->block_size());
+  Status st = device->Read(meta.root, buf.data());
+  if (!st.ok()) {
+    return Status::Corruption("persisted root page is not readable: " +
+                              st.message());
+  }
+  if (!NodeView<D>(buf.data(), tree->block_size()).IsFormatted()) {
+    return Status::Corruption("persisted root page is not a node");
+  }
+  tree->SetRoot(meta.root, meta.height, meta.record_count);
   return Status::OK();
 }
 

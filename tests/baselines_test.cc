@@ -50,7 +50,7 @@ class BaselineLoaderTest
 
 TEST_P(BaselineLoaderTest, ValidPackedTreeAndExactQueries) {
   auto [loader, n, block_size] = GetParam();
-  BlockDevice dev(block_size);
+  MemoryBlockDevice dev(block_size);
   WorkEnv env{&dev, 4u << 20};
   auto data = RandomRects<2>(n, 100 + n);
   RTree<2> tree(&dev);
@@ -85,7 +85,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(size_t{512}, size_t{4096})));
 
 TEST(BaselineLoaderTest, EmptyInputs) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   WorkEnv env{&dev, 1u << 20};
   std::vector<Record2> empty;
   for (Loader l : {Loader::kHilbert, Loader::kHilbert4D, Loader::kStr,
@@ -97,7 +97,7 @@ TEST(BaselineLoaderTest, EmptyInputs) {
 }
 
 TEST(BaselineLoaderTest, RejectNonEmptyTree) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   WorkEnv env{&dev, 1u << 20};
   auto data = RandomRects<2>(50, 5);
   RTree<2> tree(&dev);
@@ -111,7 +111,7 @@ TEST(BaselineLoaderTest, RejectNonEmptyTree) {
 TEST(HilbertLoaderTest, PacksLeavesInCurveOrder) {
   // Leaves of the packed Hilbert tree must contain records whose centre
   // Hilbert keys form non-overlapping consecutive key ranges.
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 4u << 20};
   auto data = RandomRects<2>(3000, 23);
   RTree<2> tree(&dev);
@@ -155,7 +155,7 @@ TEST(HilbertLoaderTest, PacksLeavesInCurveOrder) {
 TEST(TgsLoaderTest, SubtreesArePowersOfCapacity) {
   // García et al.'s rounding (§1.1 footnote 1): every child of the root
   // holds exactly B^h records except at most one remainder.
-  BlockDevice dev(512);  // capacity 13
+  MemoryBlockDevice dev(512);  // capacity 13
   WorkEnv env{&dev, 4u << 20};
   const size_t cap = NodeCapacity<2>(512);
   const size_t n = cap * cap * 3 + 7;  // forces height 2
@@ -195,7 +195,7 @@ TEST(StrLoaderTest, LeavesFormSlabs) {
   // After STR packing on points, the x-extents of leaves in different
   // slabs should rarely overlap; sanity: high utilisation + valid queries
   // is covered above, here check slab count is near sqrt(L).
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 4u << 20};
   auto data = testing_util::RandomPoints<2>(3380, 31);  // 13*13*20
   RTree<2> tree(&dev);
@@ -206,7 +206,7 @@ TEST(StrLoaderTest, LeavesFormSlabs) {
 }
 
 TEST(BaselineLoaderTest, ThreeDimensionalVariants) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   WorkEnv env{&dev, 4u << 20};
   auto data = RandomRects<3>(4000, 37);
   Rng rng(41);
@@ -228,7 +228,7 @@ TEST(BaselineLoaderTest, ThreeDimensionalVariants) {
 TEST(BaselineLoaderTest, BuildCostOrdering) {
   // Figure 9's qualitative ordering: H/H4 build with fewer I/Os than PR
   // would use (checked in bench), and TGS uses the most by a wide margin.
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(30000, 43);
 
   auto measure = [&](Loader l) {

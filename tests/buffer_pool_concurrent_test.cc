@@ -43,7 +43,7 @@ std::vector<PageId> AllocatePattern(BlockDevice* dev, int n) {
 }
 
 TEST(BufferPoolPinTest, EvictionRefusesPinnedFrames) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   auto pages = AllocatePattern(&dev, 4);
   BufferPool pool(&dev, 2, /*num_shards=*/1);
 
@@ -82,7 +82,7 @@ TEST(BufferPoolPinTest, EvictionRefusesPinnedFrames) {
 }
 
 TEST(BufferPoolPinTest, InvalidateOfPinnedPageDefersTheFree) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   auto pages = AllocatePattern(&dev, 1);
   BufferPool pool(&dev, 4);
 
@@ -114,7 +114,7 @@ TEST(BufferPoolPinTest, InvalidateOfPinnedPageDefersTheFree) {
 }
 
 TEST(BufferPoolPinTest, ClearDetachesPinnedFrames) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   auto pages = AllocatePattern(&dev, 3);
   BufferPool pool(&dev, 4);
   PageGuard keep;
@@ -133,7 +133,7 @@ TEST(BufferPoolPinTest, ClearDetachesPinnedFrames) {
 }
 
 TEST(BufferPoolPinTest, PagesSpreadAcrossShards) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   const int kPages = 64;
   auto pages = AllocatePattern(&dev, kPages);
   BufferPool pool(&dev, kPages, /*num_shards=*/8);
@@ -156,7 +156,7 @@ TEST(BufferPoolPinTest, PagesSpreadAcrossShards) {
 }
 
 TEST(BufferPoolPinTest, ShardCountClampedToCapacity) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   BufferPool small(&dev, 2, /*num_shards=*/16);
   EXPECT_EQ(small.num_shards(), 2u);  // every shard can hold a frame
   BufferPool uncached(&dev, 0);
@@ -164,7 +164,7 @@ TEST(BufferPoolPinTest, ShardCountClampedToCapacity) {
 }
 
 TEST(BufferPoolPinTest, GuardMoveTransfersThePin) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   auto pages = AllocatePattern(&dev, 1);
   BufferPool pool(&dev, 2);
   PageGuard a;
@@ -181,7 +181,7 @@ TEST(BufferPoolPinTest, GuardMoveTransfersThePin) {
 // hammer one shared PR-tree through one shared pool; results and stats must
 // be exactly the single-threaded ones.
 TEST(ConcurrentQueryTest, ManyThreadsOneTreeExactResults) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(20000, 91);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
@@ -239,7 +239,7 @@ TEST(ConcurrentQueryTest, ManyThreadsOneTreeExactResults) {
 // always-miss path must also be safe under concurrency (it exercises the
 // guard-owned copy branch on every access).
 TEST(ConcurrentQueryTest, UncachedPoolServesConcurrentMixedQueries) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(5000, 93);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));

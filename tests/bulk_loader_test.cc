@@ -32,7 +32,7 @@ struct Built {
 Built Build(LoaderKind kind, const std::vector<Record2>& data,
             BuildOptions opts, size_t block_size = 1024) {
   Built out;
-  out.device = std::make_unique<BlockDevice>(block_size);
+  out.device = std::make_unique<MemoryBlockDevice>(block_size);
   out.tree = std::make_unique<RTree<2>>(out.device.get());
   auto loader = MakeBulkLoader<2>(kind, opts);
   Stream<Record2> input(out.device.get());
@@ -214,7 +214,7 @@ TEST(BulkLoaderTest, EightThreadGridBuildSmoke) {
 }
 
 TEST(BulkLoaderTest, HilbertCentreCurveIsTwoDOnly) {
-  BlockDevice dev(1024);
+  MemoryBlockDevice dev(1024);
   RTree<3> tree(&dev);
   Stream<Record<3>> input(&dev);
   auto loader = MakeBulkLoader<3>(LoaderKind::kHilbert, BuildOptions{});

@@ -15,7 +15,7 @@ using testing_util::RandomWindow;
 using testing_util::SortedIds;
 
 TEST(DynamicPrTreeTest, InsertAndQuerySmall) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20});
   index.Insert(Record2{MakeRect(0.1, 0.1, 0.2, 0.2), 1});
   index.Insert(Record2{MakeRect(0.7, 0.7, 0.8, 0.8), 2});
@@ -26,7 +26,7 @@ TEST(DynamicPrTreeTest, InsertAndQuerySmall) {
 }
 
 TEST(DynamicPrTreeTest, BufferFlushCreatesLevels) {
-  BlockDevice dev(512);  // node capacity 13 -> small buffer
+  MemoryBlockDevice dev(512);  // node capacity 13 -> small buffer
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 8;
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
@@ -44,7 +44,7 @@ TEST(DynamicPrTreeTest, BufferFlushCreatesLevels) {
 }
 
 TEST(DynamicPrTreeTest, DeleteFromBufferAndLevels) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 16;
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
@@ -66,7 +66,7 @@ TEST(DynamicPrTreeTest, DeleteFromBufferAndLevels) {
 }
 
 TEST(DynamicPrTreeTest, DeleteMissingReturnsFalse) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20});
   EXPECT_FALSE(index.Delete(Record2{MakeRect(0, 0, 1, 1), 9}));
   index.Insert(Record2{MakeRect(0.2, 0.2, 0.3, 0.3), 9});
@@ -76,7 +76,7 @@ TEST(DynamicPrTreeTest, DeleteMissingReturnsFalse) {
 }
 
 TEST(DynamicPrTreeTest, ReinsertAfterDeleteCancelsTombstone) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 4;
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
@@ -98,7 +98,7 @@ TEST(DynamicPrTreeTest, ReinsertAfterDeleteCancelsTombstone) {
 }
 
 TEST(DynamicPrTreeTest, MassDeletionTriggersGlobalRebuild) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 16;
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
@@ -117,7 +117,7 @@ TEST(DynamicPrTreeTest, MassDeletionTriggersGlobalRebuild) {
 }
 
 TEST(DynamicPrTreeTest, DeleteEverything) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   size_t baseline = dev.num_allocated();
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 8;
@@ -135,7 +135,7 @@ TEST(DynamicPrTreeTest, MoveSameIdRepeatedly) {
   // Regression: the moving-objects pattern — delete id, re-insert it at a
   // new position, delete it again.  A tombstone keyed by id alone would
   // block the second delete.
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 4;  // force records out of the buffer quickly
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
@@ -161,7 +161,7 @@ TEST(DynamicPrTreeTest, MoveSameIdRepeatedly) {
 class DynamicFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DynamicFuzzTest, AgreesWithModelUnderMixedWorkload) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 13;
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);
@@ -204,7 +204,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DynamicFuzzTest,
                          ::testing::Values(1, 23, 4096));
 
 TEST(DynamicPrTreeTest, QueryStatsAggregateAcrossLevels) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   DynamicPrTreeOptions opts;
   opts.buffer_capacity = 8;
   DynamicPRTree<2> index(WorkEnv{&dev, 1u << 20}, opts);

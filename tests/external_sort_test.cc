@@ -36,7 +36,7 @@ class ExternalSortTest
 
 TEST_P(ExternalSortTest, MatchesStdSort) {
   auto [n, mem_blocks] = GetParam();
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, mem_blocks * dev.block_size()};
   auto data = RandomRecs(n, 42 + n + mem_blocks);
 
@@ -59,7 +59,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(3, 4, 8, 64)));
 
 TEST(ExternalSortDetailTest, SortedInputStaysSorted) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 4 * dev.block_size()};
   std::vector<Rec> data;
   for (size_t i = 0; i < 3000; ++i) data.push_back(Rec{i, i});
@@ -70,7 +70,7 @@ TEST(ExternalSortDetailTest, SortedInputStaysSorted) {
 }
 
 TEST(ExternalSortDetailTest, AllEqualKeys) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 3 * dev.block_size()};
   std::vector<Rec> data(1000, Rec{7, 0});
   for (size_t i = 0; i < data.size(); ++i) data[i].tag = i;
@@ -85,7 +85,7 @@ TEST(ExternalSortDetailTest, IoCountIsNearSortBound) {
   // The sorter must stay within a small constant of the
   // (N/B) * (1 + #merge passes) scan bound — this is what gives every bulk
   // loader its O((N/B) log_{M/B} (N/B)) term.
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   const size_t mem_blocks = 4;  // tiny M forces multiple merge passes
   WorkEnv env{&dev, mem_blocks * dev.block_size()};
   const size_t n = 50000;
@@ -111,7 +111,7 @@ TEST(ExternalSortDetailTest, IoCountIsNearSortBound) {
 }
 
 TEST(ExternalSortDetailTest, LargeMemorySingleRun) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 1 << 20};
   auto data = RandomRecs(10000, 5);
   Stream<Rec> in(&dev);
@@ -125,7 +125,7 @@ TEST(ExternalSortDetailTest, LargeMemorySingleRun) {
 }
 
 TEST(ExternalSortDetailTest, NoBlockLeaks) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 4 * dev.block_size()};
   size_t baseline = dev.num_allocated();
   {

@@ -46,7 +46,7 @@ class GridOptionSweepTest
 
 TEST_P(GridOptionSweepTest, EveryRecordEmittedExactlyOnce) {
   auto [n, z, mem_kb] = GetParam();
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 1u << 20};
   auto data = RandomRects<2>(n, n + z);
   GridBuildOptions opts;
@@ -74,7 +74,7 @@ TEST(GridBuilderTest, TinyMemoryForcesDeepRecursion) {
   // With a 16 KB budget over 40k records the builder must recurse through
   // several grid phases; the device must see multi-pass I/O but the
   // output must stay exact.
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 1u << 20};
   auto data = RandomRects<2>(40000, 99);
   GridBuildOptions opts;
@@ -89,7 +89,7 @@ TEST(GridBuilderTest, TinyMemoryForcesDeepRecursion) {
 }
 
 TEST(GridBuilderTest, PrioritySizeOptionBoundsPriorityChunks) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 1u << 20};
   auto data = RandomRects<2>(20000, 5);
   GridBuildOptions opts;
@@ -111,7 +111,7 @@ TEST(GridBuilderTest, PrioritySizeOptionBoundsPriorityChunks) {
 TEST(GridBuilderTest, SkewedDataDoesNotBreakSlabMath) {
   // Heavily duplicated coordinates stress the threshold tie-breaking: all
   // x equal, y highly skewed.
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 1u << 20};
   std::vector<Record2> data;
   Rng rng(7);
@@ -128,7 +128,7 @@ TEST(GridBuilderTest, SkewedDataDoesNotBreakSlabMath) {
 }
 
 TEST(GridBuilderTest, IdenticalRectanglesHandledByIdTieBreak) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 1u << 20};
   std::vector<Record2> data(15000,
                             Record2{MakeRect(0.3, 0.3, 0.4, 0.4), 0});
@@ -144,7 +144,7 @@ TEST(GridBuilderTest, IdenticalRectanglesHandledByIdTieBreak) {
 }
 
 TEST(GridBuilderTest, ThreeDimensionalGrid) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   WorkEnv env{&dev, 1u << 20};
   auto data = RandomRects<3>(20000, 11);
   GridBuildOptions opts;
@@ -156,7 +156,7 @@ TEST(GridBuilderTest, ThreeDimensionalGrid) {
 }
 
 TEST(GridBuilderTest, IoWithinSortBoundTimesConstant) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 1u << 20};
   auto data = RandomRects<2>(30000, 13);
   Stream<Record2> input(&dev);

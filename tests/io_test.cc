@@ -11,7 +11,7 @@ namespace prtree {
 namespace {
 
 TEST(BlockDeviceTest, AllocateReadWrite) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   PageId p = dev.Allocate();
   std::vector<std::byte> w(512), r(512);
   std::memset(w.data(), 0xAB, 512);
@@ -23,7 +23,7 @@ TEST(BlockDeviceTest, AllocateReadWrite) {
 }
 
 TEST(BlockDeviceTest, FreshBlocksAreZeroed) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   PageId p = dev.Allocate();
   std::vector<std::byte> w(256);
   std::memset(w.data(), 0xFF, 256);
@@ -37,7 +37,7 @@ TEST(BlockDeviceTest, FreshBlocksAreZeroed) {
 }
 
 TEST(BlockDeviceTest, FreeListReuseAndPeakAccounting) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   PageId a = dev.Allocate();
   PageId b = dev.Allocate();
   EXPECT_EQ(dev.num_allocated(), 2u);
@@ -53,7 +53,7 @@ TEST(BlockDeviceTest, FreeListReuseAndPeakAccounting) {
 }
 
 TEST(BlockDeviceTest, ReadOfUnallocatedPageFails) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   std::vector<std::byte> buf(256);
   EXPECT_FALSE(dev.Read(17, buf.data()).ok());
   PageId p = dev.Allocate();
@@ -63,7 +63,7 @@ TEST(BlockDeviceTest, ReadOfUnallocatedPageFails) {
 }
 
 TEST(BlockDeviceTest, InjectedFaultSurfacesAsIoError) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   PageId p = dev.Allocate();
   std::vector<std::byte> buf(256);
   dev.InjectReadFault(p);
@@ -75,7 +75,7 @@ TEST(BlockDeviceTest, InjectedFaultSurfacesAsIoError) {
 }
 
 TEST(BufferPoolTest, HitsAvoidDeviceReads) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   PageId p = dev.Allocate();
   BufferPool pool(&dev, 4);
   {
@@ -94,7 +94,7 @@ TEST(BufferPoolTest, HitsAvoidDeviceReads) {
 }
 
 TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   std::vector<PageId> pages;
   for (int i = 0; i < 3; ++i) pages.push_back(dev.Allocate());
   // One shard: a single deterministic LRU over all three pages.
@@ -114,7 +114,7 @@ TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
 }
 
 TEST(BufferPoolTest, ZeroCapacityStillPinsCorrectly) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   PageId p = dev.Allocate();
   std::vector<std::byte> content(256);
   std::memset(content.data(), 0x3C, 256);
@@ -136,7 +136,7 @@ TEST(BufferPoolTest, ZeroCapacityStillPinsCorrectly) {
 }
 
 TEST(BufferPoolTest, InvalidateDropsStaleData) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   PageId p = dev.Allocate();
   BufferPool pool(&dev, 2);
   {
@@ -158,7 +158,7 @@ struct TestRec {
 };
 
 TEST(StreamTest, RoundTripAndBlockCounting) {
-  BlockDevice dev(256);  // 256/12... TestRec is 16 bytes padded -> 16/block
+  MemoryBlockDevice dev(256);  // 256/12... TestRec is 16 bytes padded -> 16/block
   Stream<TestRec> s(&dev);
   const size_t n = 1000;
   for (size_t i = 0; i < n; ++i) {
@@ -178,7 +178,7 @@ TEST(StreamTest, RoundTripAndBlockCounting) {
 }
 
 TEST(StreamTest, ReadRangeTouchesOnlyNeededBlocks) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   Stream<TestRec> s(&dev);
   for (size_t i = 0; i < 512; ++i) s.Push(TestRec{i, 0});
   s.Flush();
@@ -196,7 +196,7 @@ TEST(StreamTest, ReadRangeTouchesOnlyNeededBlocks) {
 }
 
 TEST(StreamTest, SequentialReaderCostsOneReadPerBlock) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   Stream<TestRec> s(&dev);
   const size_t n = 333;
   for (size_t i = 0; i < n; ++i) s.Push(TestRec{i, 0});
@@ -214,7 +214,7 @@ TEST(StreamTest, SequentialReaderCostsOneReadPerBlock) {
 }
 
 TEST(StreamTest, ClearFreesBlocks) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   size_t before = dev.num_allocated();
   {
     Stream<TestRec> s(&dev);
@@ -231,7 +231,7 @@ TEST(StreamTest, ClearFreesBlocks) {
 }
 
 TEST(StreamTest, MoveTransfersOwnership) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   Stream<TestRec> a(&dev);
   for (size_t i = 0; i < 50; ++i) a.Push(TestRec{i, 0});
   a.Flush();
@@ -244,7 +244,7 @@ TEST(StreamTest, MoveTransfersOwnership) {
 }
 
 TEST(StreamTest, EmptyStream) {
-  BlockDevice dev(256);
+  MemoryBlockDevice dev(256);
   Stream<TestRec> s(&dev);
   s.Flush();
   EXPECT_TRUE(s.empty());

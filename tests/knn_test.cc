@@ -39,7 +39,7 @@ TEST(MinDistTest, BasicGeometry) {
 }
 
 TEST(KnnTest, EmptyTreeAndZeroK) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   EXPECT_TRUE(KnnSearch<2>(tree, {0.5, 0.5}, 5).empty());
   auto data = RandomRects<2>(100, 1);
@@ -48,7 +48,7 @@ TEST(KnnTest, EmptyTreeAndZeroK) {
 }
 
 TEST(KnnTest, KLargerThanTreeReturnsEverything) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   auto data = RandomRects<2>(50, 3);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 1u << 20}, data, &tree));
@@ -66,7 +66,7 @@ class KnnCorrectnessTest
 
 TEST_P(KnnCorrectnessTest, MatchesBruteForce) {
   auto [n, k, seed] = GetParam();
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(n, seed);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
@@ -92,7 +92,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(7, 1001)));
 
 TEST(KnnTest, VisitsFarFewerNodesThanFullScan) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(100000, 13);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 16u << 20}, data, &tree));
@@ -104,7 +104,7 @@ TEST(KnnTest, VisitsFarFewerNodesThanFullScan) {
 }
 
 TEST(KnnTest, WorksThroughBufferPool) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(5000, 17);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
@@ -119,7 +119,7 @@ TEST(KnnTest, WorksThroughBufferPool) {
 }
 
 TEST(KnnTest, ThreeDimensional) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<3>(3000, 19);
   RTree<3> tree(&dev);
   AbortIfError(BulkLoadPrTree<3>(WorkEnv{&dev, 4u << 20}, data, &tree));

@@ -47,7 +47,7 @@ class LoaderDifferentialTest : public ::testing::TestWithParam<Family> {};
 TEST_P(LoaderDifferentialTest, AllLoadersAnswerIdentically) {
   const size_t n = 6000;
   auto data = MakeData(GetParam(), n);
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   WorkEnv env{&dev, 256u << 10};  // small budget: external paths exercised
 
   RTree<2> pr(&dev), h(&dev), h4(&dev), tgs(&dev), str(&dev);

@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <memory>
 
 #include "core/prtree.h"
+#include "io/file_block_device.h"
 #include "rtree/update.h"
 #include "rtree/validate.h"
 #include "tests/test_util.h"
@@ -22,15 +24,18 @@ using testing_util::SortedIds;
 class PersistTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Test-name + pid qualified: ctest runs each TEST as its own process,
+    // often concurrently, so an address-based name could collide.
     path_ = ::testing::TempDir() + "/prtree_snapshot_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            "." + std::to_string(static_cast<long>(getpid())) + ".bin";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;
 };
 
 TEST_F(PersistTest, RoundTripPreservesEverything) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(5000, 7);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
@@ -38,7 +43,7 @@ TEST_F(PersistTest, RoundTripPreservesEverything) {
 
   // Load onto a completely different device with prior allocations (so
   // page ids cannot possibly coincide).
-  BlockDevice dev2(512);
+  MemoryBlockDevice dev2(512);
   for (int i = 0; i < 37; ++i) dev2.Allocate();
   RTree<2> loaded(&dev2);
   ASSERT_TRUE(LoadTree(path_, &loaded).ok());
@@ -62,13 +67,13 @@ TEST_F(PersistTest, RoundTripPreservesEverything) {
 }
 
 TEST_F(PersistTest, LoadedTreeRemainsUpdatable) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(1000, 13);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
   ASSERT_TRUE(SaveTree(tree, path_).ok());
 
-  BlockDevice dev2(512);
+  MemoryBlockDevice dev2(512);
   RTree<2> loaded(&dev2);
   ASSERT_TRUE(LoadTree(path_, &loaded).ok());
   RTreeUpdater<2> upd(&loaded);
@@ -84,13 +89,13 @@ TEST_F(PersistTest, LoadedTreeRemainsUpdatable) {
 }
 
 TEST_F(PersistTest, SingleLeafTree) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(5, 19);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 1u << 20}, data, &tree));
   ASSERT_EQ(tree.height(), 0);
   ASSERT_TRUE(SaveTree(tree, path_).ok());
-  BlockDevice dev2(4096);
+  MemoryBlockDevice dev2(4096);
   RTree<2> loaded(&dev2);
   ASSERT_TRUE(LoadTree(path_, &loaded).ok());
   EXPECT_EQ(loaded.size(), 5u);
@@ -99,7 +104,7 @@ TEST_F(PersistTest, SingleLeafTree) {
 }
 
 TEST_F(PersistTest, RejectsEmptyTreeAndBadTargets) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> empty(&dev);
   EXPECT_FALSE(SaveTree(empty, path_).ok());
 
@@ -111,23 +116,23 @@ TEST_F(PersistTest, RejectsEmptyTreeAndBadTargets) {
   // Non-empty output tree.
   EXPECT_FALSE(LoadTree(path_, &tree).ok());
   // Block size mismatch.
-  BlockDevice dev512(512);
+  MemoryBlockDevice dev512(512);
   RTree<2> t512(&dev512);
   Status st = LoadTree(path_, &t512);
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
   // Dimension mismatch.
-  BlockDevice dev3(4096);
+  MemoryBlockDevice dev3(4096);
   RTree<3> t3(&dev3);
   EXPECT_FALSE(LoadTree(path_, &t3).ok());
   // Missing file.
-  BlockDevice dev4(4096);
+  MemoryBlockDevice dev4(4096);
   RTree<2> t4(&dev4);
   EXPECT_FALSE(LoadTree("/nonexistent/prtree.bin", &t4).ok());
 }
 
 TEST_F(PersistTest, DetectsTruncationAndCorruption) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(2000, 29);
   RTree<2> tree(&dev);
   AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
@@ -142,7 +147,7 @@ TEST_F(PersistTest, DetectsTruncationAndCorruption) {
     std::fclose(f);
     ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
   }
-  BlockDevice dev2(512);
+  MemoryBlockDevice dev2(512);
   size_t baseline = dev2.num_allocated();
   RTree<2> loaded(&dev2);
   Status st = LoadTree(path_, &loaded);
@@ -160,9 +165,142 @@ TEST_F(PersistTest, DetectsTruncationAndCorruption) {
     std::fwrite(&junk, sizeof(junk), 1, f);
     std::fclose(f);
   }
-  BlockDevice dev3(512);
+  MemoryBlockDevice dev3(512);
   RTree<2> loaded3(&dev3);
   EXPECT_EQ(LoadTree(path_, &loaded3).code(), StatusCode::kCorruption);
+}
+
+// The in-place reopen path of the file backend: build straight onto a
+// FileBlockDevice, persist the root in the superblock, drop every handle,
+// reopen from the path alone and query — no snapshot copying involved.
+TEST_F(PersistTest, FileDeviceWriteReopenQueryRoundTrip) {
+  auto data = RandomRects<2>(4000, 31);
+  std::vector<Rect2> windows;
+  Rng rng(5);
+  for (int q = 0; q < 20; ++q) windows.push_back(RandomWindow<2>(&rng, 0.2));
+
+  std::vector<std::vector<DataId>> expected;
+  {
+    FileDeviceOptions opts;
+    opts.block_size = 512;
+    opts.truncate = true;
+    std::unique_ptr<FileBlockDevice> dev;
+    ASSERT_TRUE(FileBlockDevice::Open(path_, opts, &dev).ok());
+    RTree<2> tree(dev.get());
+    AbortIfError(BulkLoadPrTree<2>(WorkEnv{dev.get(), 2u << 20}, data,
+                                   &tree));
+    for (const auto& w : windows) {
+      expected.push_back(SortedIds(tree.QueryToVector(w)));
+    }
+    ASSERT_TRUE(PersistTree(tree, dev.get()).ok());
+  }  // device closed; only the file remains
+
+  std::unique_ptr<FileBlockDevice> dev;
+  ASSERT_TRUE(FileBlockDevice::Open(path_, FileDeviceOptions{}, &dev).ok());
+  RTree<2> tree(dev.get());
+  ASSERT_TRUE(AttachTree(dev.get(), &tree).ok());
+  EXPECT_EQ(tree.size(), data.size());
+  ASSERT_TRUE(ValidateTree(tree).ok());
+  for (size_t q = 0; q < windows.size(); ++q) {
+    EXPECT_EQ(SortedIds(tree.QueryToVector(windows[q])), expected[q]);
+  }
+
+  // A reopened tree is still updatable, and re-persistable.
+  RTreeUpdater<2> upd(&tree);
+  auto extra = RandomRects<2>(200, 37);
+  for (auto rec : extra) {
+    rec.id += 1000000;
+    upd.Insert(rec);
+  }
+  EXPECT_EQ(tree.size(), data.size() + 200);
+  ASSERT_TRUE(PersistTree(tree, dev.get()).ok());
+}
+
+TEST_F(PersistTest, AttachRejectsMissingOrMismatchedMeta) {
+  FileDeviceOptions opts;
+  opts.block_size = 512;
+  opts.truncate = true;
+  std::unique_ptr<FileBlockDevice> dev;
+  ASSERT_TRUE(FileBlockDevice::Open(path_, opts, &dev).ok());
+
+  // No PersistTree ever ran on this device.
+  RTree<2> tree(dev.get());
+  EXPECT_EQ(AttachTree(dev.get(), &tree).code(), StatusCode::kNotFound);
+
+  auto data = RandomRects<2>(500, 41);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{dev.get(), 1u << 20}, data, &tree));
+  ASSERT_TRUE(PersistTree(tree, dev.get()).ok());
+
+  // Dimension mismatch and non-empty output tree are both rejected.
+  RTree<3> t3(dev.get());
+  EXPECT_FALSE(AttachTree(dev.get(), &t3).ok());
+  EXPECT_FALSE(AttachTree(dev.get(), &tree).ok());
+}
+
+TEST_F(PersistTest, AttachRejectsStaleMetadataAfterUpdates) {
+  FileDeviceOptions opts;
+  opts.block_size = 512;
+  opts.truncate = true;
+  {
+    std::unique_ptr<FileBlockDevice> dev;
+    ASSERT_TRUE(FileBlockDevice::Open(path_, opts, &dev).ok());
+    RTree<2> tree(dev.get());
+    auto data = RandomRects<2>(2000, 47);
+    AbortIfError(BulkLoadPrTree<2>(WorkEnv{dev.get(), 1u << 20}, data,
+                                   &tree));
+    ASSERT_TRUE(PersistTree(tree, dev.get()).ok());
+    // Mutate after the persist: enough inserts to allocate pages (and
+    // possibly move the root), then close WITHOUT re-persisting.
+    RTreeUpdater<2> upd(&tree);
+    auto extra = RandomRects<2>(1500, 53);
+    for (auto rec : extra) {
+      rec.id += 1000000;
+      upd.Insert(rec);
+    }
+    ASSERT_TRUE(dev->Sync().ok());
+  }
+  std::unique_ptr<FileBlockDevice> dev;
+  ASSERT_TRUE(FileBlockDevice::Open(path_, FileDeviceOptions{}, &dev).ok());
+  RTree<2> tree(dev.get());
+  Status st = AttachTree(dev.get(), &tree);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+// Snapshots are device-agnostic: a snapshot written from a memory device
+// restores onto a file device (and the restored file index then reopens
+// in place).
+TEST_F(PersistTest, SnapshotRestoresOntoFileDevice) {
+  MemoryBlockDevice mdev(512);
+  auto data = RandomRects<2>(3000, 43);
+  RTree<2> tree(&mdev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&mdev, 2u << 20}, data, &tree));
+  ASSERT_TRUE(SaveTree(tree, path_).ok());
+
+  std::string dev_path = path_ + ".dev";
+  {
+    FileDeviceOptions opts;
+    opts.block_size = 512;
+    opts.truncate = true;
+    std::unique_ptr<FileBlockDevice> fdev;
+    ASSERT_TRUE(FileBlockDevice::Open(dev_path, opts, &fdev).ok());
+    RTree<2> loaded(fdev.get());
+    ASSERT_TRUE(LoadTree(path_, &loaded).ok());
+    ASSERT_TRUE(ValidateTree(loaded).ok());
+    ASSERT_TRUE(PersistTree(loaded, fdev.get()).ok());
+  }
+  std::unique_ptr<FileBlockDevice> fdev;
+  ASSERT_TRUE(
+      FileBlockDevice::Open(dev_path, FileDeviceOptions{}, &fdev).ok());
+  RTree<2> reopened(fdev.get());
+  ASSERT_TRUE(AttachTree(fdev.get(), &reopened).ok());
+  Rng rng(17);
+  for (int q = 0; q < 10; ++q) {
+    Rect2 w = RandomWindow<2>(&rng, 0.2);
+    EXPECT_EQ(SortedIds(reopened.QueryToVector(w)),
+              SortedIds(tree.QueryToVector(w)));
+  }
+  std::remove(dev_path.c_str());
 }
 
 }  // namespace

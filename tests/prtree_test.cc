@@ -21,7 +21,7 @@ WorkEnv Env(BlockDevice* dev, size_t mem = 8u << 20) {
 }
 
 TEST(PrTreeTest, EmptyInput) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   std::vector<Record2> empty;
   ASSERT_TRUE(BulkLoadPrTree<2>(Env(&dev), empty, &tree).ok());
@@ -29,7 +29,7 @@ TEST(PrTreeTest, EmptyInput) {
 }
 
 TEST(PrTreeTest, RejectsNonEmptyTree) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   auto data = RandomRects<2>(10, 1);
   ASSERT_TRUE(BulkLoadPrTree<2>(Env(&dev), data, &tree).ok());
@@ -39,7 +39,7 @@ TEST(PrTreeTest, RejectsNonEmptyTree) {
 }
 
 TEST(PrTreeTest, RejectsBadPriorityFraction) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   auto data = RandomRects<2>(10, 1);
   PrTreeOptions opts;
@@ -54,7 +54,7 @@ class PrTreeCorrectnessTest
 
 TEST_P(PrTreeCorrectnessTest, ValidTreeAndExactQueries) {
   auto [n, block_size, force_grid] = GetParam();
-  BlockDevice dev(block_size);
+  MemoryBlockDevice dev(block_size);
   auto data = RandomRects<2>(n, 31 * n + block_size);
   RTree<2> tree(&dev);
   PrTreeOptions opts;
@@ -94,7 +94,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(true)));
 
 TEST(PrTreeTest, AllLeavesOnBottomLevelAndPacked) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(100000, 41);
   RTree<2> tree(&dev);
   ASSERT_TRUE(BulkLoadPrTree<2>(Env(&dev, 64u << 20), data, &tree).ok());
@@ -109,7 +109,7 @@ TEST(PrTreeTest, AllLeavesOnBottomLevelAndPacked) {
 }
 
 TEST(PrTreeTest, GridAndInMemoryBuildsAreBothValidOnSameData) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(20000, 43);
   RTree<2> mem_tree(&dev), grid_tree(&dev);
   ASSERT_TRUE(BulkLoadPrTree<2>(Env(&dev), data, &mem_tree).ok());
@@ -134,7 +134,7 @@ TEST(PrTreeTest, GridAndInMemoryBuildsAreBothValidOnSameData) {
 TEST(PrTreeTest, BuildIoIsSortLike) {
   // Theorem 1: O((N/B) log_{M/B} (N/B)) I/Os — i.e., a small constant
   // times the cost of 2D external sorts at realistic M.
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(60000, 53);
   Stream<Record2> input(&dev);
   input.Append(data);
@@ -154,7 +154,7 @@ TEST(PrTreeTest, BuildIoIsSortLike) {
 }
 
 TEST(PrTreeTest, PriorityFractionAblationStillCorrect) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(8000, 59);
   for (double frac : {0.25, 0.5, 1.0}) {
     RTree<2> tree(&dev);
@@ -173,7 +173,7 @@ TEST(PrTreeTest, PriorityFractionAblationStillCorrect) {
 
 TEST(PrTreeTest, ThreeDimensionalPrTree) {
   // §2.3: the d-dimensional PR-tree.
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<3>(20000, 67);
   RTree<3> tree(&dev);
   ASSERT_TRUE(BulkLoadPrTree<3>(Env(&dev), data, &tree).ok());
@@ -187,7 +187,7 @@ TEST(PrTreeTest, ThreeDimensionalPrTree) {
 }
 
 TEST(PrTreeTest, ThreeDimensionalGridPath) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<3>(15000, 73);
   RTree<3> tree(&dev);
   PrTreeOptions opts;
@@ -208,7 +208,7 @@ class PrTreeQueryBoundTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(PrTreeQueryBoundTest, EmptyQueryLeafVisitsAreSqrtBounded) {
   size_t columns = GetParam();
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   const size_t b = NodeCapacity<2>(512);  // 13
   auto data = workload::MakeWorstCaseGrid(columns, b);
   RTree<2> tree(&dev);

@@ -131,7 +131,7 @@ TEST(PseudoBuilderTest, DuplicateCoordinatesHandledByIdTieBreak) {
 }
 
 TEST(PseudoIndexTest, QueryableIndexMatchesBruteForce) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(5000, 11);
   auto copy = data;
   RTree<2> tree(&dev);
@@ -152,7 +152,7 @@ TEST(PseudoIndexTest, QueryableIndexMatchesBruteForce) {
 
 TEST(PseudoIndexTest, InternalDegreeAtMostSix) {
   // §2.1: internal nodes have degree six (2D priority leaves + 2 subtrees).
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(30000, 17);
   RTree<2> tree(&dev);
   BuildPseudoPRTreeIndex<2>(&data, &tree);
@@ -173,7 +173,7 @@ TEST(PseudoIndexTest, InternalDegreeAtMostSix) {
 
 TEST(PseudoIndexTest, OccupiesLinearSpace) {
   // Lemma 1: O(N/B) blocks.
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   size_t baseline = dev.num_allocated();
   auto data = RandomRects<2>(50000, 19);
   RTree<2> tree(&dev);
@@ -188,7 +188,7 @@ TEST(PseudoIndexTest, OccupiesLinearSpace) {
 // Lemma 2 shape check on the pseudo-PR-tree itself: an empty-result line
 // query over the §2.4 grid visits O(sqrt(N/B)) nodes.
 TEST(PseudoIndexTest, EmptyQueryVisitsFewNodesOnWorstCaseGrid) {
-  BlockDevice dev(512);  // B = 13
+  MemoryBlockDevice dev(512);  // B = 13
   const size_t b = NodeCapacity<2>(512);
   auto data = workload::MakeWorstCaseGrid(256, b);
   const size_t n = data.size();

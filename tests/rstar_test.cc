@@ -16,7 +16,7 @@ using testing_util::RandomWindow;
 using testing_util::SortedIds;
 
 TEST(RStarTest, InsertIntoEmptyTree) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   RStarUpdater<2> upd(&tree);
   upd.Insert(Record2{MakeRect(0.1, 0.1, 0.2, 0.2), 5});
@@ -31,7 +31,7 @@ class RStarInsertTest
 
 TEST_P(RStarInsertTest, RepeatedInsertionKeepsInvariantsAndAnswers) {
   auto [block_size, seed] = GetParam();
-  BlockDevice dev(block_size);
+  MemoryBlockDevice dev(block_size);
   RTree<2> tree(&dev);
   RStarUpdater<2> upd(&tree);
   auto data = RandomRects<2>(1500, seed);
@@ -55,7 +55,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(3, 17, 2025)));
 
 TEST(RStarTest, InsertDeleteMixAgainstModel) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   RTree<2> tree(&dev);
   RStarUpdater<2> upd(&tree);
   Rng rng(11);
@@ -91,7 +91,7 @@ TEST(RStarTest, QueryQualityAtLeastComparableToGuttman) {
   // R*'s overlap-minimising insertion should not be grossly worse than
   // Guttman's on clustered data (it is usually better); this guards
   // against pathological regressions in the split/reinsert logic.
-  BlockDevice dev_r(4096), dev_g(4096);
+  MemoryBlockDevice dev_r(4096), dev_g(4096);
   RTree<2> rstar_tree(&dev_r), guttman_tree(&dev_g);
   RStarUpdater<2> rstar(&rstar_tree);
   RTreeUpdater<2> guttman(&guttman_tree);
@@ -115,7 +115,7 @@ TEST(RStarTest, ForcedReinsertHappensBeforeSplits) {
   // With capacity 13 and 200 inserts, reinsertion must trigger; the tree
   // must stay valid throughout and end up reasonably packed (reinsertion
   // tends to increase utilisation vs pure splitting).
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   RTree<2> tree(&dev);
   RStarUpdater<2> upd(&tree);
   auto data = RandomRects<2>(800, 23);
@@ -129,7 +129,7 @@ TEST(RStarTest, ForcedReinsertHappensBeforeSplits) {
 
 TEST(RStarTest, UpdatesOnBulkLoadedPrTree) {
   // §4: "The PR-tree can be updated using any known update heuristic".
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   RTree<2> tree(&dev);
   auto data = RandomRects<2>(2000, 29);
   std::vector<Record2> base(data.begin(), data.begin() + 1500);
@@ -149,7 +149,7 @@ TEST(RStarTest, UpdatesOnBulkLoadedPrTree) {
 }
 
 TEST(RStarTest, ThreeDimensional) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<3> tree(&dev);
   RStarUpdater<3> upd(&tree);
   auto data = RandomRects<3>(1000, 37);

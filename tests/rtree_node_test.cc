@@ -47,7 +47,7 @@ TEST(NodeViewTest, EntryRoundTrip) {
 }
 
 TEST(NodeViewTest, SerializationSurvivesDeviceRoundTrip) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   std::vector<std::byte> buf(4096);
   NodeView<2> node(buf.data(), buf.size());
   node.Format(2);
@@ -107,7 +107,7 @@ TEST(NodeViewTest, ThreeDimensionalEntries) {
 }
 
 TEST(NodeWriterTest, PacksFullNodes) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   NodeWriter<2> writer(&dev, /*level=*/0);
   auto data = testing_util::RandomRects<2>(300, 17);
   for (const auto& rec : data) writer.Add(rec.rect, rec.id);
@@ -127,7 +127,7 @@ TEST(NodeWriterTest, PacksFullNodes) {
 }
 
 TEST(NodeWriterTest, RespectsTargetFill) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   NodeWriter<2> writer(&dev, /*level=*/1, /*target_fill=*/10);
   auto data = testing_util::RandomRects<2>(25, 19);
   for (const auto& rec : data) writer.Add(rec.rect, rec.id);
@@ -136,7 +136,7 @@ TEST(NodeWriterTest, RespectsTargetFill) {
 }
 
 TEST(PackUpwardTest, BuildsBalancedTreeAndRoot) {
-  BlockDevice dev(512);  // capacity (512-16)/36 = 13 for D=2
+  MemoryBlockDevice dev(512);  // capacity (512-16)/36 = 13 for D=2
   EXPECT_EQ(NodeCapacity<2>(512), 13u);
   RTree<2> tree(&dev);
   auto data = testing_util::RandomRects<2>(1000, 23);
@@ -154,7 +154,7 @@ TEST(PackUpwardTest, BuildsBalancedTreeAndRoot) {
 }
 
 TEST(PackUpwardTest, SingleLeafTree) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   auto data = testing_util::RandomRects<2>(5, 29);
   NodeWriter<2> writer(&dev, 0);

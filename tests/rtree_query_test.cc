@@ -27,7 +27,7 @@ RTree<D> PackInOrder(BlockDevice* dev, const std::vector<Record<D>>& data) {
 }
 
 TEST(RTreeQueryTest, EmptyTree) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   EXPECT_TRUE(tree.empty());
   auto res = tree.QueryToVector(MakeRect(0, 0, 1, 1));
@@ -36,7 +36,7 @@ TEST(RTreeQueryTest, EmptyTree) {
 }
 
 TEST(RTreeQueryTest, PointQueryFindsExactRecord) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(500, 31);
   auto tree = PackInOrder(&dev, data);
   const auto& target = data[123];
@@ -49,7 +49,7 @@ TEST(RTreeQueryTest, PointQueryFindsExactRecord) {
 }
 
 TEST(RTreeQueryTest, WholeExtentReturnsEverything) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(2000, 37);
   auto tree = PackInOrder(&dev, data);
   Rect2 all = MakeRect(-1, -1, 2, 2);
@@ -61,7 +61,7 @@ TEST(RTreeQueryTest, WholeExtentReturnsEverything) {
 }
 
 TEST(RTreeQueryTest, DisjointWindowReturnsNothing) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(500, 41);
   auto tree = PackInOrder(&dev, data);
   auto res = tree.QueryToVector(MakeRect(5, 5, 6, 6));
@@ -73,7 +73,7 @@ class QueryCorrectnessTest
 
 TEST_P(QueryCorrectnessTest, MatchesBruteForce) {
   auto [n, block_size, seed] = GetParam();
-  BlockDevice dev(block_size);
+  MemoryBlockDevice dev(block_size);
   auto data = RandomRects<2>(n, seed);
   auto tree = PackInOrder(&dev, data);
   ASSERT_TRUE(ValidateTree(tree).ok());
@@ -94,7 +94,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 99)));
 
 TEST(RTreeQueryTest, QueryThroughBufferPoolIsEquivalent) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(3000, 43);
   auto tree = PackInOrder(&dev, data);
   BufferPool pool(&dev, 1024);
@@ -110,7 +110,7 @@ TEST(RTreeQueryTest, QueryThroughBufferPoolIsEquivalent) {
 }
 
 TEST(RTreeQueryTest, CachedInternalNodesMakeQueriesLeafOnly) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(3000, 47);
   auto tree = PackInOrder(&dev, data);
   BufferPool pool(&dev, 4096);
@@ -126,7 +126,7 @@ TEST(RTreeQueryTest, CachedInternalNodesMakeQueriesLeafOnly) {
 }
 
 TEST(RTreeQueryTest, StatsCountNodesByKind) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(2000, 53);
   auto tree = PackInOrder(&dev, data);
   QueryStats qs = tree.Query(MakeRect(-1, -1, 2, 2), [](const Record2&) {});
@@ -135,7 +135,7 @@ TEST(RTreeQueryTest, StatsCountNodesByKind) {
 }
 
 TEST(RTreeQueryTest, ThreeDimensionalQueries) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<3>(2000, 59);
   RTree<3> tree(&dev);
   NodeWriter<3> writer(&dev, 0);
@@ -153,7 +153,7 @@ TEST(RTreeQueryTest, ThreeDimensionalQueries) {
 }
 
 TEST(RTreeQueryTest, FreeAllReleasesEveryBlock) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   size_t before = dev.num_allocated();
   auto data = RandomRects<2>(2000, 67);
   auto tree = PackInOrder(&dev, data);
@@ -165,7 +165,7 @@ TEST(RTreeQueryTest, FreeAllReleasesEveryBlock) {
 }
 
 TEST(ValidateTest, DetectsCorruptedMbr) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(500, 71);
   auto tree = PackInOrder(&dev, data);
   ASSERT_GE(tree.height(), 1);
@@ -185,7 +185,7 @@ TEST(ValidateTest, DetectsCorruptedMbr) {
 }
 
 TEST(ValidateTest, DetectsWrongRecordCount) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = RandomRects<2>(100, 73);
   auto tree = PackInOrder(&dev, data);
   tree.set_size(99);

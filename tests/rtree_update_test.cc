@@ -17,7 +17,7 @@ using testing_util::RandomWindow;
 using testing_util::SortedIds;
 
 TEST(RTreeInsertTest, InsertIntoEmptyTree) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree);
   upd.Insert(Record2{MakeRect(0.1, 0.1, 0.2, 0.2), 42});
@@ -34,7 +34,7 @@ class InsertManyTest
 
 TEST_P(InsertManyTest, RepeatedInsertionKeepsInvariantsAndAnswers) {
   auto [policy, block_size] = GetParam();
-  BlockDevice dev(block_size);
+  MemoryBlockDevice dev(block_size);
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree, policy);
   auto data = RandomRects<2>(1500, 79);
@@ -60,7 +60,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(size_t{512}, size_t{4096})));
 
 TEST(RTreeInsertTest, SplitsRaiseHeightLogarithmically) {
-  BlockDevice dev(512);  // fan-out 13
+  MemoryBlockDevice dev(512);  // fan-out 13
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree);
   auto data = RandomRects<2>(2000, 89);
@@ -71,7 +71,7 @@ TEST(RTreeInsertTest, SplitsRaiseHeightLogarithmically) {
 }
 
 TEST(RTreeInsertTest, DuplicateRectanglesAllowed) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree);
   Rect2 r = MakeRect(0.5, 0.5, 0.6, 0.6);
@@ -82,7 +82,7 @@ TEST(RTreeInsertTest, DuplicateRectanglesAllowed) {
 }
 
 TEST(RTreeDeleteTest, DeleteMissingReturnsFalse) {
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree);
   EXPECT_FALSE(upd.Delete(Record2{MakeRect(0, 0, 1, 1), 7}));
@@ -94,7 +94,7 @@ TEST(RTreeDeleteTest, DeleteMissingReturnsFalse) {
 }
 
 TEST(RTreeDeleteTest, InsertThenDeleteAllLeavesEmptyTree) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   size_t baseline = dev.num_allocated();
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree);
@@ -107,7 +107,7 @@ TEST(RTreeDeleteTest, InsertThenDeleteAllLeavesEmptyTree) {
 }
 
 TEST(RTreeDeleteTest, DeleteHalfKeepsOtherHalfQueryable) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree);
   auto data = RandomRects<2>(1200, 101);
@@ -133,7 +133,7 @@ TEST(RTreeDeleteTest, DeleteHalfKeepsOtherHalfQueryable) {
 class UpdateFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(UpdateFuzzTest, MixedInsertDeleteQueryAgreesWithModel) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   RTree<2> tree(&dev);
   RTreeUpdater<2> upd(&tree);
   Rng rng(GetParam());
@@ -176,7 +176,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, UpdateFuzzTest,
                          ::testing::Values(1, 7, 13, 2024));
 
 TEST(RTreeUpdateTest, PoolInvalidationKeepsCachedQueriesFresh) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   RTree<2> tree(&dev);
   BufferPool pool(&dev, 4096);
   RTreeUpdater<2> upd(&tree, SplitPolicy::kQuadratic, 0.4, &pool);

@@ -33,7 +33,7 @@ void BuildAll(WorkEnv env, const std::vector<Record2>& data, BuiltTrees* t) {
 }
 
 TEST(WorstCaseTest, Theorem3GridForcesHeuristicsToVisitAllLeaves) {
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   const size_t b = NodeCapacity<2>(512);  // 13
   const size_t columns = 512;
   auto data = workload::MakeWorstCaseGrid(columns, b);
@@ -72,7 +72,7 @@ TEST(WorstCaseTest, TgsSplitsWorstCaseGridIntoColumns) {
   // §2.4's TGS argument: the greedy split always prefers vertical cuts on
   // the shifted grid, so every leaf ends up spanning a single column
   // (x-extent 0 for point columns).
-  BlockDevice dev(512);
+  MemoryBlockDevice dev(512);
   const size_t b = NodeCapacity<2>(512);
   auto data = workload::MakeWorstCaseGrid(169, b);  // 13^2 columns
   WorkEnv env{&dev, 2u << 20};
@@ -101,7 +101,7 @@ TEST(WorstCaseTest, ClusterDatasetStabQueries) {
   // Scaled-down Table 1: CLUSTER data with thin horizontal stabs through
   // all clusters.  Expected shape: PR visits a small fraction of the tree;
   // H, H4 and TGS visit large fractions (paper: 37 %, 94 %, 25 % vs 1.2 %).
-  BlockDevice dev(4096);
+  MemoryBlockDevice dev(4096);
   auto data = workload::MakeCluster(1000, 200, 7);  // 200k points
   WorkEnv env{&dev, 2u << 20};
   BuiltTrees trees(&dev);

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Fails if any file under docs/ is unreachable from README.md.
+#
+# Reachability is a BFS over markdown references: README.md may link a doc
+# directly ("docs/NAME.md"), and docs may link each other ("NAME.md" or
+# "docs/NAME.md").  A doc nobody links is dead documentation — either link
+# it or delete it.  Registered as the tier-1 ctest entry `docs_links_check`.
+set -euo pipefail
+
+root="${1:-.}"
+cd "$root"
+
+if [ ! -d docs ]; then
+  echo "no docs/ directory under $root" >&2
+  exit 1
+fi
+
+declare -A reachable
+queue=()
+
+# Seed: docs referenced from README.md.
+for doc in docs/*.md; do
+  name="$(basename "$doc")"
+  if grep -qF "docs/$name" README.md; then
+    reachable["$name"]=1
+    queue+=("$name")
+  fi
+done
+
+# BFS: docs referenced from reachable docs.
+while [ "${#queue[@]}" -gt 0 ]; do
+  cur="${queue[0]}"
+  queue=("${queue[@]:1}")
+  for doc in docs/*.md; do
+    name="$(basename "$doc")"
+    [ -n "${reachable[$name]:-}" ] && continue
+    # Escape regex metacharacters and require a non-word char (or line
+    # start) before the name, so FOO.md never matches inside IO_FOO.md.
+    esc="$(printf '%s' "$name" | sed 's/[][\.*^$()+?{|]/\\&/g')"
+    if grep -qE "(^|[^A-Za-z0-9_])(docs/)?$esc" "docs/$cur"; then
+      reachable["$name"]=1
+      queue+=("$name")
+    fi
+  done
+done
+
+status=0
+for doc in docs/*.md; do
+  name="$(basename "$doc")"
+  if [ -z "${reachable[$name]:-}" ]; then
+    echo "FAIL: docs/$name is not reachable from README.md" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs reachability OK (${#reachable[@]} docs reachable from README.md)"
+fi
+exit "$status"
