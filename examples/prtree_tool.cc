@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "io/file_block_device.h"
+#include "io/uring_block_device.h"
 #include "rtree/bulk_loader.h"
 #include "rtree/knn.h"
 #include "rtree/persist.h"
@@ -44,13 +45,16 @@ namespace {
       "  gen    --family=size|aspect|skewed|cluster|tiger --n=N "
       "[--param=P] [--seed=S] --out=FILE\n"
       "  build  --data=FILE --variant=pr|h|h4|tgs|str --index=FILE "
-      "[--memory-mb=M] [--threads=T] [--device=memory|file]\n"
+      "[--memory-mb=M] [--threads=T] [--device=memory|file|uring]\n"
       "  query  --index=FILE --window=xmin,ymin,xmax,ymax "
-      "[--device=memory|file]\n"
-      "  knn    --index=FILE --point=x,y [--k=K] [--device=memory|file]\n"
-      "  stats  --index=FILE [--device=memory|file]\n"
+      "[--device=memory|file|uring]\n"
+      "  knn    --index=FILE --point=x,y [--k=K] "
+      "[--device=memory|file|uring]\n"
+      "  stats  --index=FILE [--device=memory|file|uring]\n"
       "--device=memory treats the index file as a snapshot; --device=file "
-      "treats it\nas a block device and operates on it in place.\n");
+      "treats it\nas a block device and operates on it in place; "
+      "--device=uring is the file\nbackend with io_uring-batched reads "
+      "(pread fallback when unavailable).\n");
   std::exit(2);
 }
 
@@ -150,9 +154,10 @@ std::vector<Record2> ReadCsv(const std::string& path) {
 
 std::string DeviceKindOrDie(const std::map<std::string, std::string>& flags) {
   std::string kind = FlagOr(flags, "device", "memory");
-  if (kind != "memory" && kind != "file") Usage();
+  if (kind != "memory" && kind != "file" && kind != "uring") Usage();
   return kind;
 }
+
 
 int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::string data_path = FlagOr(flags, "data", "");
@@ -169,17 +174,15 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::printf("loaded %zu rectangles from %s\n", data.size(),
               data_path.c_str());
   std::unique_ptr<BlockDevice> device;
-  if (device_kind == "file") {
+  if (device_kind != "memory") {
     // The index file is the device: the tree is built straight into it.
-    std::unique_ptr<FileBlockDevice> fdev;
     FileDeviceOptions fopts;
     fopts.truncate = true;
-    Status st = FileBlockDevice::Open(index_path, fopts, &fdev);
+    Status st = OpenFileBackedDevice(device_kind, index_path, fopts, &device);
     if (!st.ok()) {
       std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    device = std::move(fdev);
   } else {
     device = std::make_unique<MemoryBlockDevice>();
   }
@@ -194,7 +197,7 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  st = device_kind == "file"
+  st = device_kind != "memory"
            ? PersistTree(tree, static_cast<FileBlockDevice*>(device.get()))
            : SaveTree(tree, index_path);
   if (!st.ok()) {
@@ -224,13 +227,12 @@ IndexHandle OpenIndexOrDie(const std::map<std::string, std::string>& flags) {
   if (path.empty()) Usage();
   IndexHandle h;
   Status st;
-  if (DeviceKindOrDie(flags) == "file") {
-    std::unique_ptr<FileBlockDevice> fdev;
+  std::string device_kind = DeviceKindOrDie(flags);
+  if (device_kind != "memory") {
     FileDeviceOptions fopts;
     fopts.must_exist = true;  // a typo must not create a stray device file
-    st = FileBlockDevice::Open(path, fopts, &fdev);
+    st = OpenFileBackedDevice(device_kind, path, fopts, &h.device);
     if (st.ok()) {
-      h.device = std::move(fdev);
       h.tree = std::make_unique<RTree<2>>(h.device.get());
       st = AttachTree(static_cast<FileBlockDevice*>(h.device.get()),
                       h.tree.get());

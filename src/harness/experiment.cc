@@ -8,6 +8,7 @@
 
 #include "io/buffer_pool.h"
 #include "io/file_block_device.h"
+#include "io/uring_block_device.h"
 #include "rtree/bulk_loader.h"
 #include "util/timer.h"
 
@@ -48,8 +49,8 @@ std::unique_ptr<BlockDevice> OpenDeviceOrDie(const DeviceSpec& spec,
   if (spec.kind == "memory") {
     return std::make_unique<MemoryBlockDevice>(block_size);
   }
-  if (spec.kind != "file") {
-    std::fprintf(stderr, "unknown device kind '%s' (memory|file)\n",
+  if (spec.kind != "file" && spec.kind != "uring") {
+    std::fprintf(stderr, "unknown device kind '%s' (memory|file|uring)\n",
                  spec.kind.c_str());
     std::exit(2);
   }
@@ -72,8 +73,9 @@ std::unique_ptr<BlockDevice> OpenDeviceOrDie(const DeviceSpec& spec,
   FileDeviceOptions fopts;
   fopts.block_size = block_size;
   fopts.truncate = true;
-  std::unique_ptr<FileBlockDevice> dev;
-  AbortIfError(FileBlockDevice::Open(path, fopts, &dev));
+  fopts.direct_io = spec.direct_io;
+  std::unique_ptr<BlockDevice> dev;
+  AbortIfError(OpenFileBackedDevice(spec.kind, path, fopts, &dev));
   // Anonymous backing: unlink while the fd stays open, so nothing is left
   // behind even on a crashed run.
   if (anonymous) ::unlink(path.c_str());
@@ -170,19 +172,22 @@ BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n) {
       if (opts.threads < 1) opts.threads = 1;
     } else if (parse("--device=", &value)) {
       opts.device.kind = value;
-      if (opts.device.kind != "memory" && opts.device.kind != "file") {
-        std::fprintf(stderr, "--device must be memory or file\n");
+      if (opts.device.kind != "memory" && opts.device.kind != "file" &&
+          opts.device.kind != "uring") {
+        std::fprintf(stderr, "--device must be memory, file or uring\n");
         std::exit(2);
       }
     } else if (parse("--path=", &value)) {
       opts.device.path = value;
+    } else if (std::strcmp(arg, "--direct") == 0) {
+      opts.device.direct_io = true;
     } else if (std::strncmp(arg, "--family=", 9) == 0) {
       // Consumed by fig15; ignore here.
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--n=N] [--queries=Q] "
                    "[--seed=S] [--scale=F] [--threads=T] "
-                   "[--device=memory|file] [--path=FILE]\n",
+                   "[--device=memory|file|uring] [--path=FILE] [--direct]\n",
                    arg, argv[0]);
       std::exit(2);
     }

@@ -41,13 +41,18 @@ std::vector<Variant> PaperVariants();
 
 /// \brief Which storage backend a harness run builds on.
 ///
-/// kind "memory" (default) is MemoryBlockDevice; "file" is FileBlockDevice.
-/// With an empty path the file backend uses an anonymous temp file
-/// (unlinked immediately after open, so nothing survives the run); give a
-/// path to keep the device file around.
+/// kind "memory" (default) is MemoryBlockDevice; "file" is FileBlockDevice;
+/// "uring" is UringBlockDevice (the file backend with io_uring-batched
+/// reads, falling back to pread transparently when the kernel lacks
+/// io_uring).  With an empty path the file-backed kinds use an anonymous
+/// temp file (unlinked immediately after open, so nothing survives the
+/// run); give a path to keep the device file around.
 struct DeviceSpec {
   std::string kind = "memory";
   std::string path;
+  /// file/uring only: request O_DIRECT (--direct).  Best effort — silently
+  /// degrades to buffered I/O where the filesystem refuses.
+  bool direct_io = false;
 };
 
 /// \brief A bulk-loaded tree with its own device and measurements.
@@ -102,9 +107,11 @@ QueryMeasurement MeasureQueries(const BuiltIndex& index,
 ///   --scale=<double>    multiplies --n (quick way to approach paper scale)
 ///   --threads=<count>   build threads (default 1; results are identical,
 ///                       only wall-clock changes)
-///   --device=<kind>     storage backend: memory (default) or file
-///   --path=<file>       file backend only: device file path (default: an
-///                       anonymous temp file removed at exit)
+///   --device=<kind>     storage backend: memory (default), file or uring
+///   --path=<file>       file/uring backends only: device file path
+///                       (default: an anonymous temp file removed at exit)
+///   --direct            file/uring backends only: request O_DIRECT
+///                       (best effort; page-cache bypass where supported)
 struct BenchOptions {
   size_t n = 0;
   size_t queries = 100;

@@ -13,6 +13,30 @@ BlockDevice::BlockDevice(size_t block_size) : block_size_(block_size) {
 
 BlockDevice::~BlockDevice() = default;
 
+Status BlockDevice::ReadBatch(BlockReadRequest* reqs, size_t n,
+                              ReadKind kind) const {
+  // Reference implementation: one DoRead per request, in order.  Backends
+  // with a real asynchronous engine (io_uring) override this; the contract
+  // — per-request status, per-success accounting, every request attempted —
+  // is fixed here.
+  Status first;
+  for (size_t i = 0; i < n; ++i) {
+    BlockReadRequest& req = reqs[i];
+    if (HasReadFault(req.page)) {
+      req.status = Status::IoError("injected read fault on page " +
+                                   std::to_string(req.page));
+    } else {
+      req.status = DoRead(req.page, req.buf);
+    }
+    if (req.status.ok()) {
+      CountBatchedRead(kind);
+    } else if (first.ok()) {
+      first = req.status;
+    }
+  }
+  return first;
+}
+
 MemoryBlockDevice::MemoryBlockDevice(size_t block_size)
     : BlockDevice(block_size) {}
 
@@ -100,28 +124,22 @@ size_t MemoryBlockDevice::peak_allocated() const {
   return peak_allocated_;
 }
 
-Status MemoryBlockDevice::Read(PageId page, void* buf) const {
+Status MemoryBlockDevice::DoRead(PageId page, void* buf) const {
   const PageSlot* slot = LiveSlot(page);
   if (slot == nullptr) {
     return Status::IoError("read of unallocated page " + std::to_string(page));
   }
-  if (HasReadFault(page)) {
-    return Status::IoError("injected read fault on page " +
-                           std::to_string(page));
-  }
   std::memcpy(buf, slot->data.get(), block_size());
-  CountRead();
   return Status::OK();
 }
 
-Status MemoryBlockDevice::Write(PageId page, const void* buf) {
+Status MemoryBlockDevice::DoWrite(PageId page, const void* buf) {
   PageSlot* slot = LiveSlot(page);
   if (slot == nullptr) {
     return Status::IoError("write of unallocated page " +
                            std::to_string(page));
   }
   std::memcpy(slot->data.get(), buf, block_size());
-  CountWrite();
   return Status::OK();
 }
 

@@ -16,11 +16,16 @@
 //    on-disk file via pread/pwrite, with a persistent superblock and an
 //    explicit Sync() durability barrier.  Indexes survive the process and
 //    may exceed RAM.
+//  * UringBlockDevice (io/uring_block_device.h): the file backend with an
+//    io_uring engine under ReadBatch(), so a batch of block reads is one
+//    syscall with every read in flight at once.  Falls back to the
+//    pread/pwrite path transparently when the kernel lacks io_uring.
 //
-// Thread safety contract (all backends): Read()/Write() may be called
-// concurrently from any number of threads; Allocate()/Free() serialise
-// internally.  Races on a single page (read vs. free of the same page, two
-// writers to one page) remain usage errors, exactly as with a real disk.
+// Thread safety contract (all backends): Read()/Write()/ReadBatch() may be
+// called concurrently from any number of threads; Allocate()/Free()
+// serialise internally.  Races on a single page (read vs. free of the same
+// page, two writers to one page) remain usage errors, exactly as with a
+// real disk.
 //
 // Determinism contract for the parallel bulk-load pipeline (all backends):
 // the page id returned by Allocate() depends only on the *sequence* of
@@ -37,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -52,6 +58,24 @@ inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 
 /// Block size used throughout the paper's experiments (§3.1).
 inline constexpr size_t kDefaultBlockSize = 4096;
+
+/// \brief How a read is charged to the I/O counters.
+///
+/// kDemand is an algorithmic block transfer (the paper's metric, counted in
+/// stats().reads).  kPrefetch is a speculative readahead transfer issued
+/// before any traversal asked for the page; it is charged to
+/// stats().prefetch_reads so readahead changes *when* blocks move, never
+/// what the demand counters report (docs/IO_MODEL.md).
+enum class ReadKind { kDemand, kPrefetch };
+
+/// \brief One request of a batched read.  `buf` must hold block_size()
+/// bytes; `status` receives the per-request outcome (a failed request never
+/// aborts the rest of the batch).
+struct BlockReadRequest {
+  PageId page = kInvalidPageId;
+  void* buf = nullptr;
+  Status status;
+};
 
 /// \brief Abstract array of fixed-size blocks with I/O accounting,
 /// allocation/free-list management and test-only fault injection.
@@ -79,13 +103,47 @@ class BlockDevice {
   virtual void Free(PageId page) = 0;
 
   /// Copies the block into `buf` (block_size() bytes).  Counts one read.
-  /// Safe to call from multiple threads concurrently.
-  virtual Status Read(PageId page, void* buf) const = 0;
+  /// Safe to call from multiple threads concurrently.  Non-virtual:
+  /// backends implement DoRead(); fault injection and accounting live
+  /// here, identically for every backend.
+  Status Read(PageId page, void* buf) const {
+    if (HasReadFault(page)) {
+      return Status::IoError("injected read fault on page " +
+                             std::to_string(page));
+    }
+    Status st = DoRead(page, buf);
+    if (st.ok()) CountRead();
+    return st;
+  }
 
   /// Copies `buf` (block_size() bytes) into the block.  Counts one write.
   /// Concurrent writes to *distinct* pages are safe (the parallel node
   /// serializers rely on this).
-  virtual Status Write(PageId page, const void* buf) = 0;
+  Status Write(PageId page, const void* buf) {
+    Status st = DoWrite(page, buf);
+    if (st.ok()) CountWrite();
+    return st;
+  }
+
+  /// \brief Reads `n` blocks in one call.  Semantically identical to `n`
+  /// Read() calls — same bytes, same per-block accounting (one
+  /// read/prefetch_read per *successful* request) — but a backend may
+  /// service the whole batch with every read in flight at once
+  /// (UringBlockDevice submits the batch as one io_uring syscall).  Each
+  /// request's outcome lands in its `status`; the return value is OK iff
+  /// every request succeeded (first failure otherwise).  Thread-safe like
+  /// Read().
+  virtual Status ReadBatch(BlockReadRequest* reqs, size_t n,
+                           ReadKind kind = ReadKind::kDemand) const;
+
+  /// \brief Advisory: the caller expects to read these pages soon.  Never
+  /// transfers into caller memory, never touches the counters, may do
+  /// nothing (the default).  The file backend forwards the hint to the
+  /// kernel (posix_fadvise WILLNEED) so the page cache can read ahead.
+  virtual void PrefetchHint(const PageId* pages, size_t n) const {
+    (void)pages;
+    (void)n;
+  }
 
   /// Number of blocks currently allocated (live).
   virtual size_t num_allocated() const = 0;
@@ -117,8 +175,14 @@ class BlockDevice {
   }
 
  protected:
-  /// True iff a fault was injected for `page`.  Backends call this at the
-  /// top of Read() (cheap: one relaxed load when no fault is armed).
+  /// Backend read/write of one block, *without* fault injection or
+  /// accounting — the public Read()/Write()/ReadBatch() wrappers add both.
+  virtual Status DoRead(PageId page, void* buf) const = 0;
+  virtual Status DoWrite(PageId page, const void* buf) = 0;
+
+  /// True iff a fault was injected for `page`.  The public wrappers call
+  /// this before every read (cheap: one relaxed load when no fault is
+  /// armed); backends with their own batched paths must do the same.
   bool HasReadFault(PageId page) const {
     return fault_count_.load(std::memory_order_acquire) != 0 &&
            read_faults_.count(page) != 0;
@@ -126,6 +190,10 @@ class BlockDevice {
 
   void CountRead() const { stats_.CountRead(); }
   void CountWrite() { stats_.CountWrite(); }
+  void CountPrefetchRead() const { stats_.CountPrefetchRead(); }
+  void CountBatchedRead(ReadKind kind) const {
+    kind == ReadKind::kDemand ? CountRead() : CountPrefetchRead();
+  }
 
  private:
   const size_t block_size_;
@@ -145,10 +213,12 @@ class MemoryBlockDevice final : public BlockDevice {
 
   PageId Allocate() override;
   void Free(PageId page) override;
-  Status Read(PageId page, void* buf) const override;
-  Status Write(PageId page, const void* buf) override;
   size_t num_allocated() const override;
   size_t peak_allocated() const override;
+
+ protected:
+  Status DoRead(PageId page, void* buf) const override;
+  Status DoWrite(PageId page, const void* buf) override;
 
  private:
   // Two-level stable storage.  Brick 0 holds pages [0, 2^kBrick0Bits);

@@ -23,10 +23,13 @@
 #ifndef PRTREE_IO_BUFFER_POOL_H_
 #define PRTREE_IO_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 
 #include "io/block_device.h"
@@ -44,7 +47,8 @@ struct PoolFrame {
   PageId page = kInvalidPageId;
   std::unique_ptr<std::byte[]> data;
   int pins = 0;
-  bool detached = false;  // invalidated while pinned; freed on last unpin
+  bool detached = false;    // invalidated while pinned; freed on last unpin
+  bool prefetched = false;  // staged by Prefetch(), not yet pinned
 };
 
 /// A slice of the pool: its own lock, LRU list and page table.  std::list
@@ -56,8 +60,16 @@ struct PoolShard {
   std::list<PoolFrame> detached;  // invalidated but still pinned
   std::unordered_map<PageId, std::list<PoolFrame>::iterator> map;
   size_t capacity = 0;
+  size_t pinned_frames = 0;  // cached (non-detached) frames with pins > 0
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t prefetch_staged = 0;  // frames inserted by Prefetch()
+  uint64_t prefetch_useful = 0;  // staged frames later pinned
+  // Bumped by every Invalidate()/Clear() of this shard.  Prefetch() plans
+  // under the shard lock, reads the device without it, then re-checks the
+  // epoch before inserting: a frame staged across an invalidation is
+  // dropped rather than resurrecting pre-update bytes.
+  uint64_t epoch = 0;
 };
 
 }  // namespace internal
@@ -178,6 +190,40 @@ class BufferPool {
   /// evict and serves the caller an unpooled copy instead.
   Status Pin(PageId page, PageGuard* out);
 
+  /// \brief Advisory readahead: stages `pages` into the cache as unpinned
+  /// frames so the pins that follow are hits, batching the device reads
+  /// (one io_uring submission on UringBlockDevice) instead of paying one
+  /// synchronous miss per page at use time.  Returns the number of frames
+  /// actually staged.
+  ///
+  /// Never violates the pin/evict invariants: staging evicts only
+  /// *unpinned* LRU frames, skips pages already cached, stages at most
+  /// what a shard can actually hold (its capacity minus its pinned
+  /// frames — no transfer is issued for a page that provably cannot be
+  /// staged; the overflow is forwarded to BlockDevice::PrefetchHint so
+  /// the kernel may still read ahead), and a capacity-0 pool stages
+  /// nothing.  Racing Pin()s are safe (worst case a page is read twice);
+  /// racing Invalidate()/Clear() wins — the stale staged frame is
+  /// dropped (see PoolShard::epoch).  Read failures just leave pages
+  /// unstaged: a later Pin reports them, so prefetch never turns into an
+  /// error path.
+  ///
+  /// Accounting: the device reads are charged to stats().prefetch_reads,
+  /// not stats().reads; staged/useful counts are exposed below
+  /// (docs/IO_MODEL.md).
+  size_t Prefetch(std::span<const PageId> pages);
+
+  /// Readahead switch for the traversal layer: when enabled, Query/kNN
+  /// call Prefetch() on each frontier of enqueued children (one level
+  /// ahead).  Off by default — the §3.3 measurement protocol counts demand
+  /// misses, and tests rely on the exact miss sequence.
+  void set_readahead(bool on) {
+    readahead_.store(on, std::memory_order_relaxed);
+  }
+  bool readahead_enabled() const {
+    return readahead_.load(std::memory_order_relaxed);
+  }
+
   /// Drops `page` from the cache (after an in-place update).  If the page
   /// is currently pinned its frame is detached — existing guards keep
   /// reading the pre-update bytes safely; the frame is freed when the last
@@ -197,6 +243,11 @@ class BufferPool {
 
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Frames staged by Prefetch() / staged frames that a Pin() later used.
+  /// useful/staged is the readahead accuracy (bench/outofcore_sweep
+  /// reports it).
+  uint64_t prefetch_staged() const;
+  uint64_t prefetch_useful() const;
   void ResetCounters();
 
  private:
@@ -210,6 +261,7 @@ class BufferPool {
   BlockDevice* device_;
   size_t capacity_;
   size_t num_shards_;
+  std::atomic<bool> readahead_{false};
   std::unique_ptr<internal::PoolShard[]> shards_;
 };
 

@@ -78,6 +78,18 @@ Status FileBlockDevice::Open(const std::string& path,
                              const FileDeviceOptions& opts,
                              std::unique_ptr<FileBlockDevice>* out) {
   out->reset();
+  OpenedFile file;
+  PRTREE_RETURN_NOT_OK(OpenBackingFile(path, opts, &file));
+  std::unique_ptr<FileBlockDevice> dev(new FileBlockDevice(
+      file.block_size, path, file.fd, /*direct_io=*/false));
+  PRTREE_RETURN_NOT_OK(dev->FinishOpen(opts, file.fresh));
+  *out = std::move(dev);
+  return Status::OK();
+}
+
+Status FileBlockDevice::OpenBackingFile(const std::string& path,
+                                        const FileDeviceOptions& opts,
+                                        OpenedFile* out) {
   if (opts.truncate && opts.must_exist) {
     // Contradictory: truncating would destroy the file the caller insists
     // on reading, before any validation could fail.
@@ -145,13 +157,19 @@ Status FileBlockDevice::Open(const std::string& path,
                                    std::to_string(kMinBlockSize));
   }
 
-  std::unique_ptr<FileBlockDevice> dev(
-      new FileBlockDevice(block_size, path, fd, /*direct_io=*/false));
-  Status init = fresh ? dev->InitFresh() : dev->LoadExisting();
-  if (!init.ok()) return init;  // dev's dtor closes fd without writing
-  if (opts.direct_io && block_size % 512 == 0) dev->NegotiateDirectIo();
-  dev->init_ok_ = true;
-  *out = std::move(dev);
+  out->fd = fd;
+  out->block_size = block_size;
+  out->fresh = fresh;
+  return Status::OK();
+}
+
+Status FileBlockDevice::FinishOpen(const FileDeviceOptions& opts,
+                                   bool fresh) {
+  // On failure the caller destroys the device, whose dtor closes the fd
+  // without writing anything back.
+  PRTREE_RETURN_NOT_OK(fresh ? InitFresh() : LoadExisting());
+  if (opts.direct_io && block_size() % 512 == 0) NegotiateDirectIo();
+  init_ok_ = true;
   return Status::OK();
 }
 
@@ -345,7 +363,7 @@ void FileBlockDevice::Free(PageId page) {
   meta_dirty_ = true;
 }
 
-Status FileBlockDevice::Read(PageId page, void* buf) const {
+Status FileBlockDevice::DoRead(PageId page, void* buf) const {
   {
     std::shared_lock lock(mu_);
     if (page >= num_pages_ || live_[page] == 0) {
@@ -353,16 +371,10 @@ Status FileBlockDevice::Read(PageId page, void* buf) const {
                              std::to_string(page));
     }
   }
-  if (HasReadFault(page)) {
-    return Status::IoError("injected read fault on page " +
-                           std::to_string(page));
-  }
-  PRTREE_RETURN_NOT_OK(PReadBlock(PageOffset(page), buf));
-  CountRead();
-  return Status::OK();
+  return PReadBlock(PageOffset(page), buf);
 }
 
-Status FileBlockDevice::Write(PageId page, const void* buf) {
+Status FileBlockDevice::DoWrite(PageId page, const void* buf) {
   {
     std::shared_lock lock(mu_);
     if (page >= num_pages_ || live_[page] == 0) {
@@ -370,9 +382,38 @@ Status FileBlockDevice::Write(PageId page, const void* buf) {
                              std::to_string(page));
     }
   }
-  PRTREE_RETURN_NOT_OK(PWriteBlock(PageOffset(page), buf));
-  CountWrite();
-  return Status::OK();
+  return PWriteBlock(PageOffset(page), buf);
+}
+
+size_t FileBlockDevice::ScreenBatchLiveness(BlockReadRequest* reqs,
+                                            size_t n) const {
+  std::shared_lock lock(mu_);
+  size_t live = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (reqs[i].page >= num_pages_ || live_[reqs[i].page] == 0) {
+      reqs[i].status = Status::IoError("read of unallocated page " +
+                                       std::to_string(reqs[i].page));
+    } else {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void FileBlockDevice::PrefetchHint(const PageId* pages, size_t n) const {
+#ifdef POSIX_FADV_WILLNEED
+  if (direct_io_) return;  // no page cache to warm
+  std::shared_lock lock(mu_);
+  for (size_t i = 0; i < n; ++i) {
+    if (pages[i] >= num_pages_ || live_[pages[i]] == 0) continue;
+    // Purely advisory; a failure (e.g. an fs without fadvise) is ignored.
+    ::posix_fadvise(fd_, static_cast<off_t>(PageOffset(pages[i])),
+                    static_cast<off_t>(block_size()), POSIX_FADV_WILLNEED);
+  }
+#else
+  (void)pages;
+  (void)n;
+#endif
 }
 
 size_t FileBlockDevice::num_allocated() const {

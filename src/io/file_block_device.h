@@ -83,7 +83,11 @@ struct FileDeviceOptions {
 
 /// \brief Block device backed by one on-disk file.  See the file comment
 /// for layout, durability and accounting semantics.
-class FileBlockDevice final : public BlockDevice {
+///
+/// Not final: UringBlockDevice (io/uring_block_device.h) shares the whole
+/// on-disk format and scalar I/O path and only replaces the ReadBatch()
+/// engine.  A file written by one opens under the other.
+class FileBlockDevice : public BlockDevice {
  public:
   /// Bytes available to SetUserMeta (fits the superblock with room to
   /// spare at the minimum block size).
@@ -110,10 +114,13 @@ class FileBlockDevice final : public BlockDevice {
   /// report Status instead.
   PageId Allocate() override;
   void Free(PageId page) override;
-  Status Read(PageId page, void* buf) const override;
-  Status Write(PageId page, const void* buf) override;
   size_t num_allocated() const override;
   size_t peak_allocated() const override;
+
+  /// Forwards the readahead hint to the kernel page cache
+  /// (posix_fadvise WILLNEED).  A no-op under O_DIRECT, where there is no
+  /// page cache to warm.
+  void PrefetchHint(const PageId* pages, size_t n) const override;
 
   /// Writes the superblock and fsync()s the file.  After an OK Sync the
   /// device state (pages, free list, counters, user metadata) survives a
@@ -133,19 +140,37 @@ class FileBlockDevice final : public BlockDevice {
   /// its full length; 0 when none was ever set.
   size_t GetUserMeta(void* buf, size_t cap) const;
 
- private:
+ protected:
   FileBlockDevice(size_t block_size, std::string path, int fd,
                   bool direct_io);
 
-  /// Initialises an empty device (fresh superblock) or loads an existing
-  /// one from the superblock + free chain.
-  Status InitFresh();
-  Status LoadExisting();
+  /// The shared Open() flow, reused by subclasses (UringBlockDevice):
+  /// OpenBackingFile() opens/creates the file, validates the superblock
+  /// header and settles the block size; FinishOpen() then initialises the
+  /// constructed device (fresh superblock or load), negotiates O_DIRECT
+  /// and marks the open successful.
+  struct OpenedFile {
+    int fd = -1;
+    size_t block_size = 0;
+    bool fresh = false;
+  };
+  static Status OpenBackingFile(const std::string& path,
+                                const FileDeviceOptions& opts,
+                                OpenedFile* out);
+  Status FinishOpen(const FileDeviceOptions& opts, bool fresh);
 
-  /// Enables O_DIRECT iff a probe transfer through it succeeds (alignment
-  /// rules are enforced at I/O time, not at open time).  Called by Open()
-  /// after initialisation, before the device is published.
-  void NegotiateDirectIo();
+  /// Scalar file I/O, shared with subclasses.
+  int fd() const { return fd_; }
+
+  /// Per-request liveness screen for a batched read, one lock acquisition
+  /// for the whole batch: requests whose page is unallocated get an
+  /// IoError status; the survivors' statuses are left untouched.  Returns
+  /// the number of surviving requests.
+  size_t ScreenBatchLiveness(BlockReadRequest* reqs, size_t n) const;
+
+  /// BlockDevice backend hooks (liveness check + pread/pwrite).
+  Status DoRead(PageId page, void* buf) const override;
+  Status DoWrite(PageId page, const void* buf) override;
 
   /// Raw full-block file I/O at byte offset `off`, bouncing through an
   /// aligned buffer under O_DIRECT.  Never touches the I/O counters.
@@ -155,6 +180,17 @@ class FileBlockDevice final : public BlockDevice {
   uint64_t PageOffset(PageId page) const {
     return (static_cast<uint64_t>(page) + 1) * block_size();
   }
+
+ private:
+  /// Initialises an empty device (fresh superblock) or loads an existing
+  /// one from the superblock + free chain.
+  Status InitFresh();
+  Status LoadExisting();
+
+  /// Enables O_DIRECT iff a probe transfer through it succeeds (alignment
+  /// rules are enforced at I/O time, not at open time).  Called by Open()
+  /// after initialisation, before the device is published.
+  void NegotiateDirectIo();
 
   /// Serialises the current metadata into the superblock page.  Caller
   /// holds mu_ exclusively (or is single-threaded, as in Open/dtor).

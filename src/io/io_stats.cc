@@ -3,9 +3,13 @@
 namespace prtree {
 
 std::string IoStats::ToString() const {
-  return "reads=" + std::to_string(reads) +
-         " writes=" + std::to_string(writes) +
-         " total=" + std::to_string(Total());
+  std::string s = "reads=" + std::to_string(reads) +
+                  " writes=" + std::to_string(writes) +
+                  " total=" + std::to_string(Total());
+  if (prefetch_reads != 0) {
+    s += " prefetch_reads=" + std::to_string(prefetch_reads);
+  }
+  return s;
 }
 
 }  // namespace prtree

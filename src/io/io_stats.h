@@ -16,18 +16,31 @@
 namespace prtree {
 
 /// \brief A snapshot of block-level I/O totals against a BlockDevice.
+///
+/// `reads` and `writes` count demand transfers — the paper's I/O metric.
+/// `prefetch_reads` counts speculative transfers issued by the readahead
+/// path (BufferPool::Prefetch / ReadBatch with ReadKind::kPrefetch): they
+/// move real blocks but are charged separately so the demand counters keep
+/// their exact §3.3 meaning whether readahead is on or off
+/// (docs/IO_MODEL.md).
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
+  uint64_t prefetch_reads = 0;
 
+  /// Demand transfers only (the paper's metric).
   uint64_t Total() const { return reads + writes; }
+  /// Every block the device moved, speculative reads included.
+  uint64_t TotalTransfers() const { return reads + writes + prefetch_reads; }
 
   IoStats operator-(const IoStats& o) const {
-    return IoStats{reads - o.reads, writes - o.writes};
+    return IoStats{reads - o.reads, writes - o.writes,
+                   prefetch_reads - o.prefetch_reads};
   }
   IoStats& operator+=(const IoStats& o) {
     reads += o.reads;
     writes += o.writes;
+    prefetch_reads += o.prefetch_reads;
     return *this;
   }
 
@@ -46,23 +59,29 @@ class AtomicIoStats {
  public:
   void CountRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
   void CountWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
-
-  /// Coherent point-in-time copy of both counters.
-  IoStats Snapshot() const {
-    return IoStats{reads_.load(std::memory_order_relaxed),
-                   writes_.load(std::memory_order_relaxed)};
+  void CountPrefetchRead() {
+    prefetch_reads_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Zeroes both counters.  Unlike the old `stats_ = IoStats{}` reset this
+  /// Coherent point-in-time copy of the counters.
+  IoStats Snapshot() const {
+    return IoStats{reads_.load(std::memory_order_relaxed),
+                   writes_.load(std::memory_order_relaxed),
+                   prefetch_reads_.load(std::memory_order_relaxed)};
+  }
+
+  /// Zeroes the counters.  Unlike the old `stats_ = IoStats{}` reset this
   /// cannot tear against a concurrent increment: each store is atomic.
   void Reset() {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
+    prefetch_reads_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> prefetch_reads_{0};
 };
 
 }  // namespace prtree

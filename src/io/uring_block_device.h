@@ -1,0 +1,96 @@
+// The io_uring-backed block device: FileBlockDevice's on-disk format and
+// scalar I/O path, with batched reads served through an io_uring.
+//
+// Why a subclass and not a new backend: the async engine changes *how*
+// blocks move, not what is stored.  UringBlockDevice inherits the whole
+// file layout (superblock, threaded free list, user-meta region), the
+// durability rules and the allocation determinism contract, and a device
+// file written by either class opens under the other.  The only override
+// is ReadBatch(): a batch of N block reads becomes one io_uring_enter with
+// all N requests in flight at once, instead of N sequential preads.
+// Scalar Read()/Write() deliberately stay on pread/pwrite — a single
+// block transfer is one syscall either way, and the pread path runs
+// lock-free from any number of threads while a ring must be serialised.
+//
+// Fallback.  io_uring availability is a runtime property (kernel < 5.1,
+// seccomp, the io_uring_disabled sysctl).  Open() probes: if a ring cannot
+// be created — or a probe read through it fails — the device keeps
+// ring_active() == false and every ReadBatch() transparently takes the
+// inherited pread loop.  Semantics, accounting and on-disk bytes are
+// identical in both modes; only wall-clock differs.  Setting the
+// PRTREE_NO_URING environment variable (or UringDeviceOptions::
+// force_fallback) forces the fallback, which is how CI exercises it on
+// io_uring-capable kernels.
+//
+// Accounting matches the BlockDevice contract: one read (or
+// prefetch_read, per ReadKind) per successful request, whichever engine
+// served it.
+
+#ifndef PRTREE_IO_URING_BLOCK_DEVICE_H_
+#define PRTREE_IO_URING_BLOCK_DEVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "io/file_block_device.h"
+#include "io/uring_io.h"
+
+namespace prtree {
+
+/// How to open a uring device: the file options plus the ring shape.
+struct UringDeviceOptions {
+  FileDeviceOptions file;
+
+  /// Submission-queue depth to request (the kernel rounds up to a power of
+  /// two).  Batches larger than the granted depth are chunked.
+  unsigned ring_entries = 64;
+
+  /// Never create a ring: behave exactly like FileBlockDevice.  For tests
+  /// that must exercise the fallback on io_uring-capable kernels.
+  bool force_fallback = false;
+};
+
+/// \brief FileBlockDevice with an io_uring engine under ReadBatch().  See
+/// the file comment for the fallback and accounting story.
+class UringBlockDevice final : public FileBlockDevice {
+ public:
+  /// Opens (or creates) the device file exactly as FileBlockDevice::Open
+  /// does, then tries to stand up an io_uring over its fd.  Ring failure is
+  /// never an Open failure — the device falls back to pread.
+  static Status Open(const std::string& path, const UringDeviceOptions& opts,
+                     std::unique_ptr<UringBlockDevice>* out);
+
+  /// Serves the whole batch with one ring submission (chunked at ring
+  /// depth); per-request failures — including opcodes an old kernel lacks —
+  /// retry through the scalar pread path, so a batch never fails harder
+  /// than the same sequence of Read() calls.
+  Status ReadBatch(BlockReadRequest* reqs, size_t n,
+                   ReadKind kind = ReadKind::kDemand) const override;
+
+  /// True iff batched reads go through an io_uring (false: pread fallback).
+  bool ring_active() const { return ring_ != nullptr; }
+
+ private:
+  UringBlockDevice(size_t block_size, std::string path, int fd)
+      : FileBlockDevice(block_size, std::move(path), fd,
+                        /*direct_io=*/false) {}
+
+  mutable std::mutex ring_mu_;     // one batch in the ring at a time
+  std::unique_ptr<UringQueue> ring_;  // null => transparent pread fallback
+};
+
+/// \brief Opens `path` as a file-backed device of `kind` — "file" (plain
+/// pread/pwrite) or "uring" (io_uring-batched ReadBatch) — type-erased to
+/// the BlockDevice interface.  The kinds share one on-disk format, so
+/// either opens files the other wrote.  Any other kind is
+/// InvalidArgument.  This is the one switch the drivers (harness,
+/// quickstart, prtree_tool) share; new backend knobs thread through here
+/// once.
+Status OpenFileBackedDevice(const std::string& kind, const std::string& path,
+                            const FileDeviceOptions& opts,
+                            std::unique_ptr<BlockDevice>* out);
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_URING_BLOCK_DEVICE_H_

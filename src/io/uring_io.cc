@@ -1,0 +1,242 @@
+#include "io/uring_io.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#if defined(__linux__) && defined(__NR_io_uring_setup) && \
+    defined(__NR_io_uring_enter)
+#define PRTREE_HAVE_URING 1
+#else
+#define PRTREE_HAVE_URING 0
+#endif
+
+namespace prtree {
+
+#if PRTREE_HAVE_URING
+
+namespace {
+
+// Raw syscall wrappers: the container ships kernel headers but no liburing,
+// and the two syscalls below are the whole ABI this class needs.
+int SysUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+std::string EnterError(int err) {
+  return std::string("io_uring_enter failed: ") + std::strerror(err);
+}
+
+}  // namespace
+
+bool UringQueue::KernelSupport() {
+  // The environment override is read on every call (not folded into the
+  // cached probe) so a test can flip PRTREE_NO_URING mid-process.
+  const char* no = std::getenv("PRTREE_NO_URING");
+  if (no != nullptr && no[0] != '\0') return false;
+  static const bool probed = [] {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    int fd = SysUringSetup(1, &p);
+    if (fd < 0) return false;  // ENOSYS / seccomp / io_uring_disabled
+    ::close(fd);
+    return true;
+  }();
+  return probed;
+}
+
+Status UringQueue::Create(int fd, unsigned entries,
+                          std::unique_ptr<UringQueue>* out) {
+  out->reset();
+  if (!KernelSupport()) {
+    return Status::IoError("io_uring is unavailable on this kernel/process");
+  }
+  if (entries == 0) entries = 1;
+  io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  int ring_fd = SysUringSetup(entries, &p);
+  if (ring_fd < 0) {
+    return Status::IoError(std::string("io_uring_setup failed: ") +
+                           std::strerror(errno));
+  }
+
+  std::unique_ptr<UringQueue> q(new UringQueue);
+  q->ring_fd_ = ring_fd;
+  q->file_fd_ = fd;
+  q->sq_entries_ = p.sq_entries;
+  q->cq_entries_ = p.cq_entries;
+
+  size_t sq_bytes = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+  size_t cq_bytes = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) sq_bytes = cq_bytes = std::max(sq_bytes, cq_bytes);
+
+  void* sq = ::mmap(nullptr, sq_bytes, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+  if (sq == MAP_FAILED) {
+    return Status::IoError("cannot map io_uring SQ ring");
+  }
+  q->sq_ring_ = sq;
+  q->sq_ring_bytes_ = sq_bytes;
+
+  void* cq = sq;
+  if (!single_mmap) {
+    cq = ::mmap(nullptr, cq_bytes, PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+    if (cq == MAP_FAILED) {
+      return Status::IoError("cannot map io_uring CQ ring");
+    }
+    q->cq_ring_bytes_ = cq_bytes;  // own mapping, unmapped separately
+  }
+  q->cq_ring_ = cq;
+
+  size_t sqes_bytes = p.sq_entries * sizeof(io_uring_sqe);
+  void* sqes = ::mmap(nullptr, sqes_bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    return Status::IoError("cannot map io_uring SQE array");
+  }
+  q->sqes_ = sqes;
+  q->sqes_bytes_ = sqes_bytes;
+
+  auto at = [](void* base, uint32_t off) {
+    return reinterpret_cast<uint32_t*>(static_cast<char*>(base) + off);
+  };
+  q->sq_head_ = at(sq, p.sq_off.head);
+  q->sq_tail_ = at(sq, p.sq_off.tail);
+  q->sq_mask_ = at(sq, p.sq_off.ring_mask);
+  q->sq_array_ = at(sq, p.sq_off.array);
+  q->cq_head_ = at(cq, p.cq_off.head);
+  q->cq_tail_ = at(cq, p.cq_off.tail);
+  q->cq_mask_ = at(cq, p.cq_off.ring_mask);
+  q->cqes_ = static_cast<char*>(cq) + p.cq_off.cqes;
+
+  *out = std::move(q);
+  return Status::OK();
+}
+
+UringQueue::~UringQueue() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_bytes_ != 0 && cq_ring_ != nullptr) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+Status UringQueue::SubmitAndWaitReads(UringReadOp* ops, size_t n) {
+  for (size_t i = 0; i < n; ++i) ops[i].result = INT32_MIN;
+  // The ring is empty between chunks (each chunk waits for all of its
+  // completions), so chunking is just a loop.
+  for (size_t done = 0; done < n;) {
+    size_t m = std::min<size_t>(n - done, sq_entries_);
+    PRTREE_RETURN_NOT_OK(RunChunk(ops + done, m));
+    done += m;
+  }
+  return Status::OK();
+}
+
+Status UringQueue::RunChunk(UringReadOp* ops, size_t m) {
+  auto* sqes = static_cast<io_uring_sqe*>(sqes_);
+  const uint32_t sq_mask = *sq_mask_;
+  const uint32_t cq_mask = *cq_mask_;
+  uint32_t tail =
+      std::atomic_ref<uint32_t>(*sq_tail_).load(std::memory_order_relaxed);
+  for (size_t i = 0; i < m; ++i) {
+    uint32_t idx = (tail + static_cast<uint32_t>(i)) & sq_mask;
+    io_uring_sqe& sqe = sqes[idx];
+    std::memset(&sqe, 0, sizeof(sqe));
+    // IORING_OP_READ (5.6+) needs no iovec.  On the few kernels that have
+    // io_uring but not this opcode the CQE comes back -EINVAL, which the
+    // caller handles as a per-op failure (and falls back to pread).
+    sqe.opcode = IORING_OP_READ;
+    sqe.fd = file_fd_;
+    sqe.addr = reinterpret_cast<uint64_t>(ops[i].buf);
+    sqe.len = ops[i].len;
+    sqe.off = ops[i].offset;
+    sqe.user_data = i;
+    sq_array_[idx] = idx;
+  }
+  // Publish the new tail; the kernel reads it with an acquire on entry.
+  std::atomic_ref<uint32_t>(*sq_tail_)
+      .store(tail + static_cast<uint32_t>(m), std::memory_order_release);
+
+  size_t submitted = 0;
+  size_t completed = 0;
+  auto reap = [&] {
+    auto* cqes = static_cast<io_uring_cqe*>(cqes_);
+    uint32_t head =
+        std::atomic_ref<uint32_t>(*cq_head_).load(std::memory_order_relaxed);
+    uint32_t ctail =
+        std::atomic_ref<uint32_t>(*cq_tail_).load(std::memory_order_acquire);
+    while (head != ctail) {
+      const io_uring_cqe& cqe = cqes[head & cq_mask];
+      if (cqe.user_data < m) {
+        ops[cqe.user_data].result = cqe.res;
+        ++completed;
+      }
+      ++head;
+    }
+    std::atomic_ref<uint32_t>(*cq_head_)
+        .store(head, std::memory_order_release);
+  };
+
+  while (submitted < m || completed < m) {
+    unsigned to_submit = static_cast<unsigned>(m - submitted);
+    unsigned want = static_cast<unsigned>(m - completed);
+    int ret = SysUringEnter(ring_fd_, to_submit,
+                            want, IORING_ENTER_GETEVENTS);
+    if (ret < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EBUSY) {
+        reap();
+        continue;
+      }
+      return Status::IoError(EnterError(errno));
+    }
+    submitted += static_cast<size_t>(ret);
+    reap();
+  }
+  return Status::OK();
+}
+
+#else  // !PRTREE_HAVE_URING
+
+// Non-Linux (or headers without the io_uring syscall numbers): io_uring is
+// statically unavailable and every caller takes the pread fallback.
+bool UringQueue::KernelSupport() { return false; }
+
+Status UringQueue::Create(int /*fd*/, unsigned /*entries*/,
+                          std::unique_ptr<UringQueue>* out) {
+  out->reset();
+  return Status::IoError("io_uring is not supported on this platform");
+}
+
+UringQueue::~UringQueue() = default;
+
+Status UringQueue::SubmitAndWaitReads(UringReadOp* /*ops*/, size_t /*n*/) {
+  return Status::IoError("io_uring is not supported on this platform");
+}
+
+Status UringQueue::RunChunk(UringReadOp* /*ops*/, size_t /*m*/) {
+  return Status::IoError("io_uring is not supported on this platform");
+}
+
+#endif  // PRTREE_HAVE_URING
+
+}  // namespace prtree

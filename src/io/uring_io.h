@@ -1,0 +1,116 @@
+// A minimal io_uring submission/completion queue for batched block reads.
+//
+// io_uring (Linux 5.1+) lets a process hand the kernel a *batch* of I/O
+// requests through a pair of shared-memory rings and collect completions
+// without one syscall per request.  That is exactly the shape of the
+// PR-tree's readahead problem: a traversal knows the next frontier of leaf
+// pages before it needs them, and a real disk can serve many 4 KB reads
+// concurrently — but only if they are in flight at the same time.  One
+// UringQueue turns N block reads into a single io_uring_enter call with all
+// N requests queued at once.
+//
+// The class is deliberately small: reads only (the write path keeps
+// pwrite), raw syscalls only (the container has kernel headers but no
+// liburing — and the ABI below is stable), fixed queue depth, synchronous
+// submit-and-wait-all semantics.  Callers serialise access (UringBlockDevice
+// holds a mutex around its queue); the queue itself is not thread-safe.
+//
+// Availability is a runtime property, not a compile-time one: kernels older
+// than 5.1, seccomp profiles (Docker's default once blocked io_uring) and
+// sysctl io_uring_disabled all make io_uring_setup fail at run time.
+// KernelSupport() probes once per process; Create() reports the precise
+// failure.  Callers must treat "no io_uring" as a normal state and fall
+// back to pread — UringBlockDevice does exactly that.
+
+#ifndef PRTREE_IO_URING_IO_H_
+#define PRTREE_IO_URING_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace prtree {
+
+/// \brief One read of a batch: `len` bytes at file offset `offset` into
+/// `buf`.  After SubmitAndWaitReads, `result` holds the byte count on
+/// success or -errno on failure (the io_uring CQE convention).
+struct UringReadOp {
+  uint64_t offset = 0;
+  void* buf = nullptr;
+  uint32_t len = 0;
+  int32_t result = 0;
+};
+
+/// \brief A fixed-depth io_uring bound to one file descriptor, submitting
+/// batches of reads and waiting for all their completions.
+class UringQueue {
+ public:
+  /// True iff this kernel/process can create an io_uring at all.  Probes
+  /// once (io_uring_setup + close) and caches the answer.  Honours the
+  /// PRTREE_NO_URING environment variable (any non-empty value forces
+  /// false) so CI can exercise the fallback path on io_uring-capable
+  /// kernels.
+  static bool KernelSupport();
+
+  /// Creates a queue of (at least) `entries` submission slots reading from
+  /// `fd`.  Fails with IoError when the kernel refuses (no io_uring,
+  /// seccomp, rlimit) — never aborts, so callers can fall back.
+  static Status Create(int fd, unsigned entries,
+                       std::unique_ptr<UringQueue>* out);
+
+  ~UringQueue();
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  /// Submission slots actually granted by the kernel (>= the requested
+  /// `entries`, rounded up to a power of two).
+  unsigned depth() const { return sq_entries_; }
+
+  /// \brief Submits all `n` ops as reads and blocks until every one
+  /// completes, chunking internally when `n` exceeds depth().  Per-op
+  /// outcomes land in each op's `result`; the return value is non-OK only
+  /// for ring-level failures (io_uring_enter itself erroring), in which
+  /// case unprocessed ops keep result == INT32_MIN.
+  ///
+  /// Not thread-safe: the caller serialises (one batch in the ring at a
+  /// time).
+  Status SubmitAndWaitReads(UringReadOp* ops, size_t n);
+
+ private:
+  UringQueue() = default;
+
+  /// Queues ops[0..m) into the (empty) ring and waits for all m
+  /// completions.  m <= depth().
+  Status RunChunk(UringReadOp* ops, size_t m);
+
+  int ring_fd_ = -1;
+  int file_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+
+  // Mapped ring memory.  sq_ring_ and cq_ring_ may be one mapping
+  // (IORING_FEAT_SINGLE_MMAP); sqes_ is always its own.
+  void* sq_ring_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;
+  size_t cq_ring_bytes_ = 0;
+  void* sqes_ = nullptr;
+  size_t sqes_bytes_ = 0;
+
+  // Pointers into the mapped rings (kernel-shared; accessed with
+  // acquire/release atomics).
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t* sq_mask_ = nullptr;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t* cq_mask_ = nullptr;
+  void* cqes_ = nullptr;
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_IO_URING_IO_H_

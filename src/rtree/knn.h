@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "rtree/rtree.h"
@@ -48,6 +49,13 @@ Real MinDist(const std::array<Real, D>& p, const Rect<D>& r) {
 /// than `k` if the tree is smaller.  `stats` (optional) receives node
 /// visit counters; `pool` (optional) caches node reads.  Like window
 /// queries, safe to run from many threads over one shared tree and pool.
+///
+/// With pool readahead enabled (BufferPool::set_readahead) each internal
+/// expansion prefetches the children it pushed onto the frontier in one
+/// batch.  Best-first order makes some of those speculative — a distant
+/// child may never be popped — which is the access-adaptive wager: the
+/// pool's prefetch_useful/prefetch_staged ratio reports how it paid off.
+/// Visit counters and results are identical with readahead on or off.
 template <int D>
 std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
                                    const std::array<Real, D>& point,
@@ -76,6 +84,8 @@ std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
   heap.push(Item{0.0, false, tree.root(), {}});
 
   QueryStats local;
+  const bool readahead = pool != nullptr && pool->readahead_enabled();
+  std::vector<PageId> frontier;  // children pushed by the current expansion
   PageGuard guard;  // hoisted: pool-less searches reuse one buffer
   while (!heap.empty() && result.size() < k) {
     Item item = heap.top();
@@ -95,10 +105,15 @@ std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
       }
     } else {
       ++local.internal_visited;
+      if (readahead) frontier.clear();
       for (int i = 0; i < node.count(); ++i) {
         heap.push(Item{MinDist<D>(point, node.GetRect(i)), false,
                        node.GetId(i),
                        {}});
+        if (readahead) frontier.push_back(node.GetId(i));
+      }
+      if (readahead && frontier.size() >= 2) {
+        pool->Prefetch(std::span<const PageId>(frontier));
       }
     }
   }

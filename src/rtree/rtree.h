@@ -18,6 +18,7 @@
 #define PRTREE_RTREE_RTREE_H_
 
 #include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -108,11 +109,21 @@ class RTree {
   /// all node reads go through it (the paper's internal-node cache);
   /// otherwise nodes are read from the device.  Safe to call from many
   /// threads at once over one shared pool.
+  ///
+  /// Frontier readahead: when the pool has readahead enabled
+  /// (BufferPool::set_readahead), every internal expansion prefetches the
+  /// children it just enqueued — one level ahead of the traversal, so by
+  /// the time a child is popped (LIFO: the new children come off first)
+  /// its block is already staged, and the whole frontier was read as one
+  /// batch (one io_uring submission on UringBlockDevice).  Readahead
+  /// changes when blocks are read, never what is visited: QueryStats are
+  /// byte-identical with it on or off.
   template <typename Emit>
   QueryStats Query(const RectT& window, Emit emit,
                    BufferPool* pool = nullptr) const {
     QueryStats qs;
     if (empty()) return qs;
+    const bool readahead = pool != nullptr && pool->readahead_enabled();
     std::vector<PageId> stack{root_};
     PageGuard guard;  // hoisted: pool-less traversals reuse one buffer
     while (!stack.empty()) {
@@ -132,10 +143,15 @@ class RTree {
         }
       } else {
         ++qs.internal_visited;
+        const size_t frontier = stack.size();
         for (int i = 0; i < node.count(); ++i) {
           if (node.GetRect(i).Intersects(window)) {
             stack.push_back(node.GetId(i));
           }
+        }
+        if (readahead && stack.size() - frontier >= 2) {
+          pool->Prefetch(std::span<const PageId>(stack.data() + frontier,
+                                                 stack.size() - frontier));
         }
       }
     }

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -232,6 +233,113 @@ TEST(ConcurrentQueryTest, ManyThreadsOneTreeExactResults) {
   EXPECT_EQ(sum.internal_visited, factor * reference.internal_visited);
   EXPECT_EQ(sum.leaves_visited, factor * reference.leaves_visited);
   EXPECT_EQ(sum.results, factor * reference.results);
+  EXPECT_EQ(pool.pinned(), 0u);
+}
+
+// Prefetch vs Pin vs Invalidate vs Clear vs eviction pressure, all at
+// once, on a pool deliberately far smaller than the page set.  The
+// invariants under fire (TSan runs this suite): pinned bytes never change
+// or vanish, eviction/staging never exceeds capacity, a prefetched frame
+// is indistinguishable from a demand-cached one, and no frame leaks
+// (pinned() == 0 at the end).
+TEST(ConcurrentPrefetchTest, PrefetchRacesPinInvalidateAndEviction) {
+  MemoryBlockDevice dev(256);
+  const int kPages = 96;
+  auto pages = AllocatePattern(&dev, kPages);
+  BufferPool pool(&dev, 12, /*num_shards=*/4);  // hot eviction guaranteed
+
+  const int kThreads = 8;
+  const int kRounds = 200;
+  std::atomic<int> byte_errors{0};
+  ParallelForChunks(0, kThreads, kThreads, [&](int t, size_t, size_t) {
+    Rng rng(1000 + t);
+    std::vector<PageId> frontier;
+    for (int round = 0; round < kRounds; ++round) {
+      switch (t % 4) {
+        case 0:  // prefetcher: random frontiers, overlapping other threads'
+        case 1: {
+          frontier.clear();
+          for (int i = 0; i < 8; ++i) {
+            frontier.push_back(
+                pages[rng.UniformInt(0, kPages - 1)]);
+          }
+          pool.Prefetch(std::span<const PageId>(frontier));
+          break;
+        }
+        case 2: {  // pinner: every pinned frame must hold its pattern byte
+          PageId p = pages[rng.UniformInt(0, kPages - 1)];
+          PageGuard g;
+          if (pool.Pin(p, &g).ok()) {
+            size_t index = static_cast<size_t>(p - pages[0]);
+            if (g.data()[0] != static_cast<std::byte>(0x10 + index)) {
+              byte_errors.fetch_add(1);
+            }
+          }
+          break;
+        }
+        default: {  // invalidator/clearer
+          if (round % 32 == 31) {
+            pool.Clear();
+          } else {
+            pool.Invalidate(pages[rng.UniformInt(0, kPages - 1)]);
+          }
+          break;
+        }
+      }
+    }
+  });
+
+  EXPECT_EQ(byte_errors.load(), 0);
+  EXPECT_LE(pool.size(), 12u);
+  EXPECT_EQ(pool.pinned(), 0u);
+  // Sanity on the counters: everything staged was really staged, uses are
+  // a subset of stages.
+  EXPECT_LE(pool.prefetch_useful(), pool.prefetch_staged());
+}
+
+// Concurrent queries over one shared readahead pool must stay exact: the
+// prefetch path may only change which reads are speculative, never the
+// answers or the traversal counters.
+TEST(ConcurrentPrefetchTest, ReadaheadQueriesStayExactUnderConcurrency) {
+  MemoryBlockDevice dev(512);
+  auto data = RandomRects<2>(20000, 95);
+  RTree<2> tree(&dev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
+  TreeStats ts = tree.ComputeStats();
+  BufferPool pool(&dev, ts.num_nodes / 2 + 8);
+  pool.set_readahead(true);
+
+  Rng rng(23);
+  const int kQueries = 32;
+  std::vector<Rect2> windows;
+  for (int q = 0; q < kQueries; ++q) {
+    windows.push_back(RandomWindow<2>(&rng, 0.15));
+  }
+  std::vector<std::vector<DataId>> expect(kQueries);
+  QueryStats reference;
+  for (int q = 0; q < kQueries; ++q) {
+    expect[q] = SortedIds(tree.QueryToVector(windows[q]));  // pool-less
+    reference += tree.Query(windows[q], [](const Record2&) {});
+  }
+
+  const int kThreads = 8;
+  std::vector<QueryStats> per_thread(kThreads);
+  std::atomic<int> mismatches{0};
+  ParallelForChunks(0, kThreads, kThreads, [&](int t, size_t, size_t) {
+    QueryStats local;
+    for (int q = 0; q < kQueries; ++q) {
+      auto got = SortedIds(tree.QueryToVector(windows[q], &pool));
+      if (got != expect[q]) mismatches.fetch_add(1);
+      local += tree.Query(windows[q], [](const Record2&) {}, &pool);
+    }
+    per_thread[t] = local;
+  });
+
+  EXPECT_EQ(mismatches.load(), 0);
+  QueryStats sum;
+  for (const auto& qs : per_thread) sum += qs;
+  EXPECT_EQ(sum.leaves_visited, kThreads * reference.leaves_visited);
+  EXPECT_EQ(sum.results, kThreads * reference.results);
   EXPECT_EQ(pool.pinned(), 0u);
 }
 

@@ -118,6 +118,28 @@ TEST(KnnTest, WorksThroughBufferPool) {
   }
 }
 
+TEST(KnnTest, ReadaheadPoolGivesIdenticalNeighborsAndStats) {
+  MemoryBlockDevice dev(512);
+  auto data = RandomRects<2>(5000, 21);
+  RTree<2> tree(&dev);
+  AbortIfError(BulkLoadPrTree<2>(WorkEnv{&dev, 4u << 20}, data, &tree));
+  // Small pool, readahead on: best-first expansion prefetches each pushed
+  // frontier; some of that is speculative, none of it may change answers.
+  BufferPool pool(&dev, 64);
+  pool.set_readahead(true);
+  QueryStats plain_stats, ahead_stats;
+  auto plain = KnnSearch<2>(tree, {0.6, 0.2}, 25, &plain_stats);
+  auto ahead = KnnSearch<2>(tree, {0.6, 0.2}, 25, &ahead_stats, &pool);
+  ASSERT_EQ(ahead.size(), plain.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(ahead[i].record.id, plain[i].record.id);
+    EXPECT_EQ(ahead[i].distance, plain[i].distance);
+  }
+  EXPECT_EQ(ahead_stats.nodes_visited, plain_stats.nodes_visited);
+  EXPECT_EQ(ahead_stats.leaves_visited, plain_stats.leaves_visited);
+  EXPECT_GT(pool.prefetch_staged(), 0u);
+}
+
 TEST(KnnTest, ThreeDimensional) {
   MemoryBlockDevice dev(4096);
   auto data = RandomRects<3>(3000, 19);

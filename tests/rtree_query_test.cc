@@ -125,6 +125,39 @@ TEST(RTreeQueryTest, CachedInternalNodesMakeQueriesLeafOnly) {
   EXPECT_EQ(pool.hits(), qs.internal_visited);
 }
 
+TEST(RTreeQueryTest, ReadaheadNeverChangesAnswersOrQueryStats) {
+  MemoryBlockDevice dev(512);
+  auto data = RandomRects<2>(3000, 49);
+  auto tree = PackInOrder(&dev, data);
+  TreeStats ts = tree.ComputeStats();
+
+  // A pool too small for the tree, so eviction and staging both run.
+  BufferPool scalar_pool(&dev, ts.num_nodes / 4 + 2, /*num_shards=*/1);
+  BufferPool ahead_pool(&dev, ts.num_nodes / 4 + 2, /*num_shards=*/1);
+  ahead_pool.set_readahead(true);
+
+  Rng rng(19);
+  for (int q = 0; q < 25; ++q) {
+    Rect2 w = RandomWindow<2>(&rng, 0.2);
+    QueryStats scalar_stats, ahead_stats;
+    std::vector<Record2> scalar_out, ahead_out;
+    scalar_stats = tree.Query(
+        w, [&](const Record2& r) { scalar_out.push_back(r); }, &scalar_pool);
+    ahead_stats = tree.Query(
+        w, [&](const Record2& r) { ahead_out.push_back(r); }, &ahead_pool);
+    // The readahead contract: identical visits, identical results, in the
+    // identical order (prefetch must not perturb the traversal at all).
+    EXPECT_EQ(ahead_stats.nodes_visited, scalar_stats.nodes_visited);
+    EXPECT_EQ(ahead_stats.internal_visited, scalar_stats.internal_visited);
+    EXPECT_EQ(ahead_stats.leaves_visited, scalar_stats.leaves_visited);
+    EXPECT_EQ(ahead_stats.results, scalar_stats.results);
+    EXPECT_EQ(SortedIds(ahead_out), SortedIds(scalar_out));
+  }
+  // The speculative traffic exists and is charged to the prefetch counter.
+  EXPECT_GT(ahead_pool.prefetch_staged(), 0u);
+  EXPECT_GT(dev.stats().prefetch_reads, 0u);
+}
+
 TEST(RTreeQueryTest, StatsCountNodesByKind) {
   MemoryBlockDevice dev(512);
   auto data = RandomRects<2>(2000, 53);
