@@ -1,22 +1,43 @@
-// Multi-core query throughput: the first concurrency numbers in the bench
-// trajectory.
+// Multi-core throughput: read-only query scaling plus the mixed
+// insert/delete/window/kNN workload over the MVCC dynamic forest.
 //
-// The paper reports per-query I/Os on a single thread (§3.3); this driver
-// measures what the same §3.3 setup sustains when many threads query one
-// shared PR-tree through one sharded BufferPool — the pin-based page cache
-// that replaced copy-on-fetch.  The cache protocol is unchanged (internal
-// nodes warmed, leaf misses are the I/Os); the sweep reports queries/sec at
-// 1, 2, 4 and 8 threads plus the per-thread QueryStats cross-check: summed
-// over threads they must equal the single-thread totals exactly, because
-// each query's traversal is deterministic and its counters are private.
+// Leg 1 (always runs): the paper reports per-query I/Os on a single
+// thread (§3.3); this sweep measures what the same setup sustains when
+// many threads query one shared PR-tree through one sharded BufferPool.
+// The cache protocol is unchanged (internal nodes warmed, leaf misses are
+// the I/Os); queries/sec at 1..8 threads plus the per-thread QueryStats
+// cross-check: summed over threads they must equal the single-thread
+// totals exactly, because each query's traversal is deterministic and its
+// counters are private.
 //
-//   $ ./build/release/bench/throughput_concurrent [--n=N] [--queries=Q]
+// Leg 2 (--mix=): the snapshot-read story under writes.  A DynamicPRTree
+// serves a mixed workload — x% inserts, y% deletes, z% window queries,
+// w% kNN — from 1..16 threads; every query runs on an epoch-pinned
+// snapshot, so readers never block on writers and never see a torn
+// version.  Reports ops/sec and p50/p99 query latency per thread count
+// into BENCH_mixed.json (gated by tools/bench_compare.py: op counts and
+// the serial-leg counters exactly, latencies echoed but never gated).
+// The run self-checks determinism: the serial counters must reproduce,
+// every threaded leg must converge to the same final size, and a snapshot
+// pinned before the storm must stay frozen through it.
+//
+//   $ ./build/bench/throughput_concurrent [--n=N] [--queries=Q]
+//       [--mix=40,10,40,10] [--threads-max=16]
+//       [--out=BENCH_mixed.json] [--smoke]
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "core/dynamic_prtree.h"
 #include "harness/experiment.h"
+#include "io/block_device.h"
 #include "io/buffer_pool.h"
+#include "util/random.h"
 #include "util/parallel.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -59,14 +80,7 @@ bool SameStats(const QueryStats& a, const QueryStats& b) {
          a.leaves_visited == b.leaves_visited && a.results == b.results;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  BenchOptions opts = ParseBenchFlags(argc, argv, /*default_n=*/300000);
-  size_t n = opts.ScaledN();
-  // The default 100 windows of §3.3 are too few to time a multi-core sweep;
-  // use a few thousand unless the user asked for a specific count.
-  size_t num_queries = opts.queries_set ? opts.queries : 4000;
+int RunStaticSweep(const BenchOptions& opts, size_t n, size_t num_queries) {
   std::printf("=== Concurrent query throughput "
               "(PR-tree, Eastern TIGER-like, n=%zu, %zu x 1%% queries) ===\n",
               n, num_queries);
@@ -113,4 +127,381 @@ int main(int argc, char** argv) {
   std::printf("(per-thread QueryStats are private and exact; their sums match "
               "the single-thread run at every point of the sweep)\n");
   return 0;
+}
+
+// ---- mixed workload over the dynamic forest ----------------------------
+
+enum class OpKind { kInsert, kDelete, kWindow, kKnn };
+
+struct Op {
+  OpKind kind;
+  Record2 rec;       // insert/delete
+  Rect2 window;      // window
+  std::array<Real, 2> point;  // knn
+};
+
+struct Mix {
+  int insert = 40;
+  int del = 10;
+  int window = 40;
+  int knn = 10;
+};
+
+/// The deterministic op streams of one leg: `threads` disjoint sequences
+/// (each thread inserts its own fresh ids and deletes its own slice of
+/// the pre-populated records, so the final record set is independent of
+/// interleaving).
+std::vector<std::vector<Op>> MakeOpStreams(const Mix& mix, int threads,
+                                           size_t ops_per_thread,
+                                           const std::vector<Record2>& base,
+                                           const Rect2& extent,
+                                           uint64_t seed) {
+  std::vector<std::vector<Op>> streams(threads);
+  auto windows = workload::MakeSquareQueries(
+      extent, 0.01, threads * ops_per_thread, seed + 11);
+  Rng rng(seed + 17);
+  DataId next_id = static_cast<DataId>(base.size());
+  size_t next_del = 0;  // round-robins over the pre-populated records
+  size_t next_win = 0;
+  for (int t = 0; t < threads; ++t) {
+    auto& stream = streams[t];
+    stream.reserve(ops_per_thread);
+    for (size_t i = 0; i < ops_per_thread; ++i) {
+      int pick = static_cast<int>(rng.Uniform(0.0, 100.0));
+      Op op;
+      if (pick < mix.insert) {
+        op.kind = OpKind::kInsert;
+        double side = rng.Uniform(0.0, 0.01);
+        double lo_x = rng.Uniform(0.0, 1.0 - side);
+        double lo_y = rng.Uniform(0.0, 1.0 - side);
+        op.rec = Record2{MakeRect(lo_x, lo_y, lo_x + side, lo_y + side),
+                         next_id++};
+      } else if (pick < mix.insert + mix.del && next_del < base.size()) {
+        op.kind = OpKind::kDelete;
+        op.rec = base[next_del++];
+      } else if (pick < mix.insert + mix.del + mix.window ||
+                 mix.knn == 0) {
+        op.kind = OpKind::kWindow;
+        op.window = windows[next_win++ % windows.size()];
+      } else {
+        op.kind = OpKind::kKnn;
+        op.point = {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+      }
+      stream.push_back(op);
+    }
+  }
+  return streams;
+}
+
+struct SerialCounters {
+  uint64_t final_size = 0;
+  uint64_t results = 0;      // window-query live results
+  uint64_t leaves = 0;       // window-query leaf visits
+  uint64_t knn_results = 0;
+  bool operator==(const SerialCounters&) const = default;
+};
+
+/// Runs every stream back-to-back on one thread and totals the exact
+/// counters — the deterministic reference the CI baseline gates on.
+SerialCounters RunSerial(const std::vector<Record2>& base,
+                         const std::vector<std::vector<Op>>& streams,
+                         const DynamicPrTreeOptions& opts) {
+  MemoryBlockDevice dev(4096);
+  BufferPool pool(&dev, 4096);
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 22}, opts);
+  index.AttachPool(&pool);
+  for (const auto& rec : base) index.Insert(rec);
+  SerialCounters c;
+  for (const auto& stream : streams) {
+    for (const auto& op : stream) {
+      switch (op.kind) {
+        case OpKind::kInsert:
+          index.Insert(op.rec);
+          break;
+        case OpKind::kDelete:
+          index.Delete(op.rec);
+          break;
+        case OpKind::kWindow: {
+          QueryStats qs = index.Query(op.window, [](const Record2&) {},
+                                      &pool);
+          c.results += qs.results;
+          c.leaves += qs.leaves_visited;
+          break;
+        }
+        case OpKind::kKnn: {
+          auto nn = index.Knn(op.point, 10, nullptr, &pool);
+          c.knn_results += nn.size();
+          break;
+        }
+      }
+    }
+  }
+  c.final_size = index.size();
+  return c;
+}
+
+struct MixedLeg {
+  int threads = 0;
+  size_t ops = 0;
+  double seconds = 0;
+  double window_p50_ms = 0;
+  double window_p99_ms = 0;
+  double knn_p50_ms = 0;
+  double knn_p99_ms = 0;
+  uint64_t final_size = 0;
+  bool snapshot_frozen = true;
+};
+
+double PercentileMs(std::vector<double>* lat, double q) {
+  if (lat->empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(lat->size() - 1));
+  std::nth_element(lat->begin(), lat->begin() + idx, lat->end());
+  return (*lat)[idx];
+}
+
+MixedLeg RunMixedLeg(const std::vector<Record2>& base,
+                     const std::vector<std::vector<Op>>& streams,
+                     const DynamicPrTreeOptions& opts) {
+  MemoryBlockDevice dev(4096);
+  BufferPool pool(&dev, 4096);
+  DynamicPRTree<2> index(WorkEnv{&dev, 1u << 22}, opts);
+  index.AttachPool(&pool);
+  for (const auto& rec : base) index.Insert(rec);
+
+  const int threads = static_cast<int>(streams.size());
+  // Pin the pre-storm version: it must stay frozen through the whole leg.
+  auto snap = index.Snapshot();
+  const Rect2 probe = MakeRect(0.25, 0.25, 0.75, 0.75);
+  std::vector<Record2> tmp;
+  const QueryStats frozen =
+      snap.Query(probe, [&](const Record2& r) { tmp.push_back(r); }, &pool);
+
+  std::vector<std::vector<double>> win_lat(threads), knn_lat(threads);
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& wl = win_lat[t];
+      auto& kl = knn_lat[t];
+      for (const auto& op : streams[t]) {
+        switch (op.kind) {
+          case OpKind::kInsert:
+            index.Insert(op.rec);
+            break;
+          case OpKind::kDelete:
+            index.Delete(op.rec);
+            break;
+          case OpKind::kWindow: {
+            auto t0 = std::chrono::steady_clock::now();
+            index.Query(op.window, [](const Record2&) {}, &pool);
+            auto t1 = std::chrono::steady_clock::now();
+            wl.push_back(
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+            break;
+          }
+          case OpKind::kKnn: {
+            auto t0 = std::chrono::steady_clock::now();
+            index.Knn(op.point, 10, nullptr, &pool);
+            auto t1 = std::chrono::steady_clock::now();
+            kl.push_back(
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  MixedLeg leg;
+  leg.threads = threads;
+  // While the storm runs, the pinned snapshot must keep answering with the
+  // exact pre-storm counters.
+  for (int round = 0; round < 8; ++round) {
+    QueryStats qs = snap.Query(probe, [](const Record2&) {}, &pool);
+    if (!SameStats(qs, frozen)) leg.snapshot_frozen = false;
+  }
+  for (auto& w : workers) w.join();
+  leg.seconds = timer.Seconds();
+  {
+    QueryStats qs = snap.Query(probe, [](const Record2&) {}, &pool);
+    if (!SameStats(qs, frozen)) leg.snapshot_frozen = false;
+  }
+  snap.Release();
+
+  std::vector<double> all_win, all_knn;
+  for (auto& v : win_lat) all_win.insert(all_win.end(), v.begin(), v.end());
+  for (auto& v : knn_lat) all_knn.insert(all_knn.end(), v.begin(), v.end());
+  for (const auto& s : streams) leg.ops += s.size();
+  leg.window_p50_ms = PercentileMs(&all_win, 0.50);
+  leg.window_p99_ms = PercentileMs(&all_win, 0.99);
+  leg.knn_p50_ms = PercentileMs(&all_knn, 0.50);
+  leg.knn_p99_ms = PercentileMs(&all_knn, 0.99);
+  leg.final_size = index.size();
+  return leg;
+}
+
+int RunMixed(const BenchOptions& opts, const Mix& mix, size_t n,
+             size_t ops_per_leg, int threads_max,
+             const std::string& out_path) {
+  std::printf("\n=== Mixed workload over the dynamic forest "
+              "(n=%zu, %zu ops/leg, mix %d%%ins/%d%%del/%d%%win/%d%%knn) "
+              "===\n",
+              n, ops_per_leg, mix.insert, mix.del, mix.window, mix.knn);
+  auto base = workload::MakeTigerLike(n, workload::TigerRegion::kEastern,
+                                      opts.seed);
+  // MakeTigerLike ids are 0..n-1; insert ops continue from n.
+  const Rect2 extent = MakeRect(0, 0, 1, 1);
+  DynamicPrTreeOptions dopts;  // defaults: one block's worth of buffer
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= threads_max; t *= 2) thread_counts.push_back(t);
+
+  // Serial reference, run twice: the exact counters must reproduce.
+  auto serial_streams = MakeOpStreams(mix, 1, ops_per_leg, base, extent,
+                                      opts.seed);
+  SerialCounters serial = RunSerial(base, serial_streams, dopts);
+  bool deterministic = serial == RunSerial(base, serial_streams, dopts);
+  std::printf("serial: final_size=%llu window_results=%llu "
+              "window_leaves=%llu knn_results=%llu%s\n",
+              static_cast<unsigned long long>(serial.final_size),
+              static_cast<unsigned long long>(serial.results),
+              static_cast<unsigned long long>(serial.leaves),
+              static_cast<unsigned long long>(serial.knn_results),
+              deterministic ? "" : "  [NOT REPRODUCIBLE]");
+
+  TablePrinter table({"threads", "ops/s", "win p50 ms", "win p99 ms",
+                      "knn p50 ms", "knn p99 ms", "snapshot frozen"});
+  std::vector<MixedLeg> legs;
+  for (int t : thread_counts) {
+    size_t per_thread = ops_per_leg / static_cast<size_t>(t);
+    auto streams = MakeOpStreams(mix, t, per_thread, base, extent,
+                                 opts.seed + static_cast<uint64_t>(t));
+    MixedLeg leg = RunMixedLeg(base, streams, dopts);
+    // Disjoint per-thread id ranges: the final size is interleaving-free.
+    MixedLeg ref;
+    {
+      SerialCounters sc = RunSerial(base, streams, dopts);
+      ref.final_size = sc.final_size;
+    }
+    if (leg.final_size != ref.final_size) deterministic = false;
+    if (!leg.snapshot_frozen) deterministic = false;
+    table.AddRow(
+        {std::to_string(t),
+         TablePrinter::Fmt(static_cast<double>(leg.ops) / leg.seconds, 0),
+         TablePrinter::Fmt(leg.window_p50_ms, 4),
+         TablePrinter::Fmt(leg.window_p99_ms, 4),
+         TablePrinter::Fmt(leg.knn_p50_ms, 4),
+         TablePrinter::Fmt(leg.knn_p99_ms, 4),
+         leg.snapshot_frozen ? "yes" : "NO"});
+    legs.push_back(leg);
+  }
+  table.Print();
+
+  std::string json = "{\n  \"bench\": \"throughput_mixed\",\n";
+  json += "  \"n\": " + std::to_string(n) + ",\n";
+  json += "  \"host_threads\": " + std::to_string(HardwareThreads()) + ",\n";
+  json += "  \"mix\": {\"insert\": " + std::to_string(mix.insert) +
+          ", \"delete\": " + std::to_string(mix.del) +
+          ", \"window\": " + std::to_string(mix.window) +
+          ", \"knn\": " + std::to_string(mix.knn) + "},\n";
+  json += "  \"serial\": {\"final_size\": " +
+          std::to_string(serial.final_size) +
+          ", \"results\": " + std::to_string(serial.results) +
+          ", \"leaves\": " + std::to_string(serial.leaves) +
+          ", \"knn_results\": " + std::to_string(serial.knn_results) +
+          "},\n";
+  json += "  \"legs\": [\n";
+  for (size_t i = 0; i < legs.size(); ++i) {
+    const MixedLeg& leg = legs[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"threads\": %d, \"ops\": %zu, \"final_size\": %llu, "
+        "\"seconds\": %.6f, \"window_p50_ms\": %.4f, "
+        "\"window_p99_ms\": %.4f, \"knn_p50_ms\": %.4f, "
+        "\"knn_p99_ms\": %.4f}%s\n",
+        leg.threads, leg.ops,
+        static_cast<unsigned long long>(leg.final_size), leg.seconds,
+        leg.window_p50_ms, leg.window_p99_ms, leg.knn_p50_ms,
+        leg.knn_p99_ms, i + 1 < legs.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += std::string("  \"deterministic\": ") +
+          (deterministic ? "true" : "false") + "\n}\n";
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: mixed-workload determinism cross-checks "
+                         "(serial reproduction / final size / frozen "
+                         "snapshot) did not hold\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Pull out this bench's own flags; everything else goes to the shared
+  // parser (--n, --queries, --seed, --scale, ...).
+  bool smoke = false;
+  bool mix_given = false;
+  Mix mix;
+  int threads_max = 16;
+  std::string out_path = "BENCH_mixed.json";
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    char* arg = argv[i];
+    if (std::strncmp(arg, "--mix=", 6) == 0) {
+      mix_given = true;
+      if (std::sscanf(arg + 6, "%d,%d,%d,%d", &mix.insert, &mix.del,
+                      &mix.window, &mix.knn) != 4 ||
+          mix.insert + mix.del + mix.window + mix.knn != 100 ||
+          mix.insert < 0 || mix.del < 0 || mix.window < 0 || mix.knn < 0) {
+        std::fprintf(stderr,
+                     "--mix takes four non-negative percentages summing to "
+                     "100: --mix=insert,delete,window,knn\n");
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--threads-max=", 14) == 0) {
+      threads_max = std::atoi(arg + 14);
+      if (threads_max < 1 || threads_max > 64) {
+        std::fprintf(stderr, "--threads-max must be in [1, 64]\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  BenchOptions opts = ParseBenchFlags(static_cast<int>(rest.size()),
+                                      rest.data(), /*default_n=*/300000);
+  size_t n = opts.ScaledN();
+  size_t num_queries = opts.queries_set ? opts.queries : 4000;
+  size_t ops_per_leg = opts.queries_set ? opts.queries : 20000;
+  if (smoke) {
+    n = 5000;
+    num_queries = 500;
+    ops_per_leg = 2000;
+    threads_max = std::min(threads_max, 2);
+    if (!mix_given) mix_given = true;  // smoke always runs the mixed leg
+  }
+
+  int rc = RunStaticSweep(opts, n, num_queries);
+  if (rc != 0) return rc;
+  if (mix_given) {
+    rc = RunMixed(opts, mix, smoke ? n : n / 10, ops_per_leg, threads_max,
+                  out_path);
+  }
+  return rc;
 }

@@ -7,11 +7,19 @@
 // batches through pinned zero-copy page guards — no locks in user code,
 // exact per-thread statistics.
 //
+// The second leg adds writers: a DynamicPRTree takes inserts from
+// background threads while a reader holds a SnapshotHandle.  The pinned
+// snapshot keeps answering with the exact same results and QueryStats
+// throughout — readers never lock against writers and never see a torn
+// version.
+//
 //   $ ./build/examples/concurrent_queries
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
+#include "core/dynamic_prtree.h"
 #include "core/prtree.h"
 #include "io/buffer_pool.h"
 #include "util/parallel.h"
@@ -61,5 +69,47 @@ int main() {
               static_cast<unsigned long long>(total.results),
               static_cast<double>(total.leaves_visited) /
                   static_cast<double>(viewports.size()));
+
+  // ---- snapshot reads under writes ------------------------------------
+  // The map keeps updating while viewports are being served.  A pinned
+  // snapshot freezes one version of the index: the two writer threads
+  // below trigger buffer flushes and level rebuilds, yet every re-run of
+  // the same viewport on the snapshot returns identical results and
+  // identical stats.
+  MemoryBlockDevice dyn_device;
+  DynamicPRTree<2> dynamic(WorkEnv{&dyn_device, 8u << 20});
+  for (size_t i = 0; i < 50000; ++i) dynamic.Insert(roads[i]);
+
+  auto snap = dynamic.Snapshot();
+  const Rect2 viewport = viewports.front();
+  QueryStats before = snap.Query(viewport, [](const Record2&) {});
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = 50000 + static_cast<size_t>(w); i < 80000; i += 2) {
+        dynamic.Insert(roads[i]);
+      }
+    });
+  }
+  uint64_t frozen_reruns = 0;
+  for (int round = 0; round < 50; ++round) {
+    QueryStats qs = snap.Query(viewport, [](const Record2&) {});
+    frozen_reruns += (qs.results == before.results &&
+                      qs.leaves_visited == before.leaves_visited);
+  }
+  for (auto& w : writers) w.join();
+  QueryStats after = snap.Query(viewport, [](const Record2&) {});
+  std::printf(
+      "snapshot under writes: pinned at %zu records, %llu/50 re-runs frozen "
+      "mid-storm, stats %s after 30000 concurrent inserts "
+      "(index now %zu records, snapshot still %zu)\n",
+      snap.size(), static_cast<unsigned long long>(frozen_reruns),
+      after.results == before.results &&
+              after.leaves_visited == before.leaves_visited
+          ? "byte-identical"
+          : "CHANGED (bug!)",
+      dynamic.size(), snap.size());
+  snap.Release();
   return 0;
 }

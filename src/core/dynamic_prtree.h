@@ -17,14 +17,32 @@
 //    tombstones; each level is worst-case optimal, so the total is
 //    O(log(N/M)) times the static bound — the paper's "maintaining the
 //    optimal query performance".
+//
+// Concurrency — snapshot reads under writes (multi-version concurrency):
+// the forest is published as a sequence of immutable ForestVersions (the
+// level roots, a frozen buffer, a frozen tombstone set).  A level rebuild
+// happens entirely on freshly allocated pages: the merge reads the old
+// trees, the bulk loader writes new ones, and a single version-pointer
+// swap publishes the result; the replaced pages go to an EpochManager
+// limbo list and return to the device free list only once every reader
+// that could still reach them has drained.  Readers take a SnapshotHandle
+// (an epoch guard plus a version pointer) and see a perfectly frozen
+// record set — and, because nothing they traverse is ever overwritten or
+// recycled underneath them, byte-identical QueryStats — regardless of
+// concurrent Insert/Delete traffic.  Writers serialize among themselves.
 
 #ifndef PRTREE_CORE_DYNAMIC_PRTREE_H_
 #define PRTREE_CORE_DYNAMIC_PRTREE_H_
 
+#include <algorithm>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/prtree.h"
+#include "io/epoch.h"
+#include "rtree/knn.h"
 #include "rtree/validate.h"
 
 namespace prtree {
@@ -45,61 +63,113 @@ struct DynamicPrTreeOptions {
 /// unique among live records.  Re-inserting an exactly deleted record
 /// cancels its pending tombstone; deleting and re-inserting the same id at
 /// a new position (the moving-objects pattern) is fully supported.
+///
+/// Concurrency: any number of threads may query (each query runs on an
+/// internally taken snapshot) while any number of threads insert/delete
+/// (writers serialize on an internal mutex).  For a stable multi-query
+/// view, hold a SnapshotHandle from Snapshot().  A BufferPool kept across
+/// updates should be registered with AttachPool() so frames of reclaimed
+/// pages are dropped before their ids are recycled (an attached pool must
+/// outlive the forest or be detached); a pool used only between updates
+/// needs no registration.
 template <int D = 2>
 class DynamicPRTree {
  public:
   using RecordT = Record<D>;
   using RectT = Rect<D>;
+  using TombstoneMap = std::unordered_multimap<DataId, RectT>;
+
+  /// One level of a published version: enough to traverse the static tree
+  /// without touching the writer's mutable RTree object.
+  struct LevelRoot {
+    PageId root;
+    size_t size;
+  };
+
+  /// An immutable published state of the forest.  Level pages referenced
+  /// here are never overwritten (rebuilds are copy-on-write), and never
+  /// freed while a snapshot holding this version is alive.
+  struct ForestVersion {
+    std::vector<LevelRoot> levels;
+    std::shared_ptr<const std::vector<RecordT>> buffer;
+    std::shared_ptr<const TombstoneMap> tombstones;
+    size_t live = 0;
+  };
+
+  class SnapshotHandle;
 
   DynamicPRTree(WorkEnv env,
                 const DynamicPrTreeOptions& opts = DynamicPrTreeOptions{})
-      : env_(env), opts_(opts) {
+      : env_(env), opts_(opts), epochs_(env.device), view_(env.device) {
     size_t cap = NodeCapacity<D>(env.device->block_size());
     buffer_capacity_ =
         opts_.buffer_capacity != 0 ? opts_.buffer_capacity : cap;
+    buffer_snap_ = std::make_shared<const std::vector<RecordT>>();
+    tombstones_snap_ = std::make_shared<const TombstoneMap>();
+    PublishLocked();  // version 0: the empty forest
   }
 
   /// Number of live (non-tombstoned) records.
-  size_t size() const { return live_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    return version_->live;
+  }
 
   /// Number of static levels currently allocated (occupied or not).
-  size_t num_levels() const { return levels_.size(); }
+  size_t num_levels() const {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    return version_->levels.size();
+  }
 
   /// Pending tombstones (records physically present but deleted).
-  size_t tombstones() const { return tombstones_.size(); }
+  size_t tombstones() const {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    return version_->tombstones->size();
+  }
 
   /// \brief Inserts `rec`.  Amortised O((1/B) log(N)) block I/Os plus the
   /// buffer append.
   void Insert(const RecordT& rec) {
+    std::lock_guard<std::mutex> wl(write_mu_);
     auto it = FindTombstone(rec);
     if (it != tombstones_.end()) {
       // Re-insertion of an exactly deleted record: the physical copy in
       // some level is indistinguishable from the new record, so cancelling
       // the tombstone is the insert.
       tombstones_.erase(it);
+      tombstones_dirty_ = true;
       ++live_;
+      PublishLocked();
       return;
     }
     buffer_.push_back(rec);
+    buffer_dirty_ = true;
     ++live_;
-    if (buffer_.size() >= buffer_capacity_) FlushBuffer();
+    std::vector<PageId> replaced;
+    if (buffer_.size() >= buffer_capacity_) FlushBufferLocked(&replaced);
+    PublishLocked();
+    epochs_.Retire(std::move(replaced));
   }
 
   /// \brief Deletes the record matching `rec` exactly.  Returns false if
   /// not present.
   bool Delete(const RecordT& rec) {
+    std::lock_guard<std::mutex> wl(write_mu_);
     for (size_t i = 0; i < buffer_.size(); ++i) {
       if (buffer_[i].id == rec.id && buffer_[i].rect == rec.rect) {
         buffer_[i] = buffer_.back();
         buffer_.pop_back();
+        buffer_dirty_ = true;
         --live_;
+        PublishLocked();
         return true;
       }
     }
     if (FindTombstone(rec) != tombstones_.end()) {
       return false;  // this exact record is already deleted
     }
-    // Exact-match probe of the static levels.
+    // Exact-match probe of the static levels (a writer-private read; the
+    // levels only change under write_mu_, which we hold).
     bool found = false;
     for (auto& level : levels_) {
       if (level.empty()) continue;
@@ -110,9 +180,30 @@ class DynamicPRTree {
     }
     if (!found) return false;
     tombstones_.emplace(rec.id, rec.rect);
+    tombstones_dirty_ = true;
     --live_;
-    if (tombstones_.size() > live_) RebuildAll();
+    std::vector<PageId> replaced;
+    if (tombstones_.size() > live_) RebuildAllLocked(&replaced);
+    PublishLocked();
+    epochs_.Retire(std::move(replaced));
     return true;
+  }
+
+  /// \brief Pins the current version: an epoch guard (pages of this
+  /// version will not be reclaimed while the handle lives) plus the
+  /// version pointer.  Queries through the handle see one frozen record
+  /// set no matter how much concurrent update traffic runs.
+  SnapshotHandle Snapshot() const {
+    // Enter the epoch *before* loading the version pointer: any version
+    // observable after entry retires its pages with a later stamp, so
+    // whichever version we load, its pages outlive the guard.
+    EpochGuard guard = epochs_.Enter();
+    std::shared_ptr<const ForestVersion> version;
+    {
+      std::lock_guard<std::mutex> lock(version_mu_);
+      version = version_;
+    }
+    return SnapshotHandle(this, std::move(guard), std::move(version));
   }
 
   /// \brief Window query over the forest; emits every live intersecting
@@ -120,34 +211,13 @@ class DynamicPRTree {
   /// memory-resident and costs no I/O).  If `pool` is given, every level's
   /// node reads go through it (one shared pool serves the whole forest).
   ///
-  /// Concurrency: queries are read-only over the buffer, levels and
-  /// tombstones, so any number of threads may query one forest through a
-  /// shared pool as long as no Insert/Delete runs concurrently — the same
-  /// readers-xor-writer contract as the static tree.  Level rebuilds write
-  /// to the device without telling any pool, so after an Insert/Delete the
-  /// caller must Clear() a pool it keeps across updates.
+  /// Runs on an internally taken snapshot, so it is safe — and sees a
+  /// consistent record set with deterministic QueryStats — concurrently
+  /// with Insert/Delete from other threads.
   template <typename Emit>
   QueryStats Query(const RectT& window, Emit emit,
                    BufferPool* pool = nullptr) const {
-    QueryStats qs;
-    uint64_t live_results = 0;
-    for (const auto& rec : buffer_) {
-      if (rec.rect.Intersects(window)) {
-        ++live_results;
-        emit(rec);
-      }
-    }
-    for (const auto& level : levels_) {
-      if (level.empty()) continue;
-      qs += level.Query(window, [&](const RecordT& r) {
-        if (FindTombstone(r) != tombstones_.end()) return;
-        ++live_results;
-        emit(r);
-      }, pool);
-    }
-    // Per-level stats count physical hits; report live results instead.
-    qs.results = live_results;
-    return qs;
+    return Snapshot().Query(window, emit, pool);
   }
 
   /// Materialising query.
@@ -158,14 +228,36 @@ class DynamicPRTree {
     return out;
   }
 
+  /// \brief k-nearest-neighbour search over the forest: best-first on
+  /// every occupied level (tombstones filtered inside the traversal, so
+  /// they never displace a live candidate), a scan of the buffer, and a
+  /// (distance, id)-ordered merge.  Runs on an internally taken snapshot.
+  std::vector<Neighbor<D>> Knn(const std::array<Real, D>& point, size_t k,
+                               QueryStats* stats = nullptr,
+                               BufferPool* pool = nullptr) const {
+    return Snapshot().Knn(point, k, stats, pool);
+  }
+
+  /// Registers `pool` so frames of pages reclaimed by rebuilds are
+  /// invalidated before the ids can be recycled.  Required for pools kept
+  /// across updates; the pool must outlive the forest or be detached.
+  void AttachPool(BufferPool* pool) const { epochs_.AttachPool(pool); }
+  void DetachPool(BufferPool* pool) const { epochs_.DetachPool(pool); }
+
+  /// The reclamation registry (diagnostics: limbo_pages(),
+  /// active_readers()).
+  const EpochManager& epochs() const { return epochs_; }
+
   /// Per-level record counts (diagnostics and tests).
   std::vector<size_t> LevelSizes() const {
+    std::lock_guard<std::mutex> lock(version_mu_);
     std::vector<size_t> out;
-    for (const auto& level : levels_) out.push_back(level.size());
+    for (const auto& level : version_->levels) out.push_back(level.size);
     return out;
   }
 
-  /// Validates every level's structure.
+  /// Validates every level's structure.  Writer-side call: must not run
+  /// concurrently with Insert/Delete.
   Status Validate() const {
     for (const auto& level : levels_) {
       if (level.empty()) continue;
@@ -174,13 +266,156 @@ class DynamicPRTree {
     return Status::OK();
   }
 
+  /// \brief A pinned, immutable view of the forest: queries through the
+  /// handle all observe the same record set, and the pages they traverse
+  /// are guaranteed untouched (not overwritten, not recycled) until the
+  /// handle is released.  Move-only; release early with Release() to let
+  /// the writer reclaim pages this snapshot was holding.
+  class SnapshotHandle {
+   public:
+    SnapshotHandle(SnapshotHandle&&) noexcept = default;
+    SnapshotHandle& operator=(SnapshotHandle&&) noexcept = default;
+
+    /// Live records in this version.
+    size_t size() const { return version_->live; }
+
+    /// Drops the epoch pin (idempotent).  The handle must not be queried
+    /// afterwards.
+    void Release() {
+      guard_.Release();
+      version_.reset();
+    }
+
+    /// Window query over the pinned version; same contract as
+    /// DynamicPRTree::Query.  Stats are byte-identical across re-runs on
+    /// one handle, writers or no writers.
+    template <typename Emit>
+    QueryStats Query(const RectT& window, Emit emit,
+                     BufferPool* pool = nullptr) const {
+      PRTREE_CHECK(version_ != nullptr);  // queried after Release()
+      QueryStats qs;
+      uint64_t live_results = 0;
+      for (const auto& rec : *version_->buffer) {
+        if (rec.rect.Intersects(window)) {
+          ++live_results;
+          emit(rec);
+        }
+      }
+      const TombstoneMap& tombs = *version_->tombstones;
+      for (const auto& level : version_->levels) {
+        if (level.size == 0) continue;
+        qs += tree_->view_.QueryFrom(level.root, window,
+                                     [&](const RecordT& r) {
+                                       if (Tombstoned(tombs, r)) return;
+                                       ++live_results;
+                                       emit(r);
+                                     },
+                                     pool);
+      }
+      // Per-level stats count physical hits; report live results instead.
+      qs.results = live_results;
+      return qs;
+    }
+
+    std::vector<RecordT> QueryToVector(const RectT& window,
+                                       BufferPool* pool = nullptr) const {
+      std::vector<RecordT> out;
+      Query(window, [&](const RecordT& r) { out.push_back(r); }, pool);
+      return out;
+    }
+
+    /// kNN over the pinned version; same contract as DynamicPRTree::Knn.
+    std::vector<Neighbor<D>> Knn(const std::array<Real, D>& point, size_t k,
+                                 QueryStats* stats = nullptr,
+                                 BufferPool* pool = nullptr) const {
+      PRTREE_CHECK(version_ != nullptr);  // queried after Release()
+      std::vector<Neighbor<D>> cand;
+      QueryStats agg;
+      for (const auto& rec : *version_->buffer) {
+        cand.push_back(Neighbor<D>{rec, MinDist<D>(point, rec.rect)});
+      }
+      const TombstoneMap& tombs = *version_->tombstones;
+      for (const auto& level : version_->levels) {
+        if (level.size == 0) continue;
+        QueryStats ls;
+        auto part = KnnSearchFrom<D>(
+            tree_->view_, level.root, point, k, &ls, pool,
+            [&](const RecordT& r) { return !Tombstoned(tombs, r); });
+        agg += ls;
+        cand.insert(cand.end(), part.begin(), part.end());
+      }
+      // Merge the per-level k-best lists and the buffer candidates with
+      // the traversal's own ordering: distance, ties by id.
+      std::sort(cand.begin(), cand.end(),
+                [](const Neighbor<D>& a, const Neighbor<D>& b) {
+                  if (a.distance != b.distance) {
+                    return a.distance < b.distance;
+                  }
+                  return a.record.id < b.record.id;
+                });
+      if (cand.size() > k) cand.resize(k);
+      agg.results = cand.size();
+      if (stats != nullptr) *stats = agg;
+      return cand;
+    }
+
+   private:
+    friend class DynamicPRTree;
+    SnapshotHandle(const DynamicPRTree* tree, EpochGuard guard,
+                   std::shared_ptr<const ForestVersion> version)
+        : tree_(tree), guard_(std::move(guard)),
+          version_(std::move(version)) {}
+
+    const DynamicPRTree* tree_;
+    EpochGuard guard_;
+    std::shared_ptr<const ForestVersion> version_;
+  };
+
  private:
   /// Capacity of level i: buffer_capacity * 2^(i+1).
   size_t LevelCapacity(size_t i) const {
     return buffer_capacity_ << (i + 1);
   }
 
-  void FlushBuffer() {
+  /// Exact (id, rect) membership in a frozen tombstone set.
+  static bool Tombstoned(const TombstoneMap& tombs, const RecordT& rec) {
+    auto [lo, hi] = tombs.equal_range(rec.id);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == rec.rect) return true;
+    }
+    return false;
+  }
+
+  /// \brief Publishes the working state as a new immutable version.
+  /// Caller holds write_mu_.  The version pointer swap is the atomic
+  /// commit point; the caller retires replaced pages *after* this returns
+  /// (publish-then-retire: a reader can never load a version whose pages
+  /// are already in limbo with an older stamp than its entry epoch).
+  void PublishLocked() {
+    if (buffer_dirty_) {
+      buffer_snap_ = std::make_shared<const std::vector<RecordT>>(buffer_);
+      buffer_dirty_ = false;
+    }
+    if (tombstones_dirty_) {
+      tombstones_snap_ = std::make_shared<const TombstoneMap>(tombstones_);
+      tombstones_dirty_ = false;
+    }
+    auto v = std::make_shared<ForestVersion>();
+    v->levels.reserve(levels_.size());
+    for (const auto& level : levels_) {
+      v->levels.push_back(LevelRoot{level.root(), level.size()});
+    }
+    v->buffer = buffer_snap_;
+    v->tombstones = tombstones_snap_;
+    v->live = live_;
+    std::lock_guard<std::mutex> lock(version_mu_);
+    version_ = std::move(v);
+  }
+
+  /// Merges the buffer into the smallest level that absorbs it, building
+  /// the new tree on fresh pages.  The pages of every consumed level land
+  /// in `replaced` for the caller to retire after publishing.
+  void FlushBufferLocked(std::vector<PageId>* replaced) {
     // Smallest level i whose capacity absorbs the buffer plus levels 0..i.
     size_t total = buffer_.size();
     size_t target = 0;
@@ -191,24 +426,26 @@ class DynamicPRTree {
     }
     std::vector<RecordT> all = std::move(buffer_);
     buffer_.clear();
+    buffer_dirty_ = true;
     for (size_t i = 0; i <= target && i < levels_.size(); ++i) {
       if (levels_[i].empty()) continue;
       auto recs = DumpRecords(levels_[i]);
       AppendLive(recs, &all);
-      levels_[i].FreeAll();
+      levels_[i].DetachPages(replaced);
     }
     while (levels_.size() <= target) levels_.emplace_back(env_.device);
     AbortIfError(BulkLoadPrTree<D>(env_, all, &levels_[target], opts_.build));
   }
 
-  void RebuildAll() {
+  void RebuildAllLocked(std::vector<PageId>* replaced) {
     std::vector<RecordT> all = std::move(buffer_);
     buffer_.clear();
+    buffer_dirty_ = true;
     for (auto& level : levels_) {
       if (level.empty()) continue;
       auto recs = DumpRecords(level);
       AppendLive(recs, &all);
-      level.FreeAll();
+      level.DetachPages(replaced);
     }
     PRTREE_CHECK(tombstones_.empty());
     PRTREE_CHECK(all.size() == live_);
@@ -227,6 +464,7 @@ class DynamicPRTree {
       auto it = FindTombstone(r);
       if (it != tombstones_.end()) {
         tombstones_.erase(it);
+        tombstones_dirty_ = true;
         continue;
       }
       out->push_back(r);
@@ -234,8 +472,8 @@ class DynamicPRTree {
   }
 
   /// Finds the tombstone matching `rec` exactly (id and rectangle).
-  typename std::unordered_multimap<DataId, RectT>::const_iterator
-  FindTombstone(const RecordT& rec) const {
+  typename TombstoneMap::const_iterator FindTombstone(
+      const RecordT& rec) const {
     auto [lo, hi] = tombstones_.equal_range(rec.id);
     for (auto it = lo; it != hi; ++it) {
       if (it->second == rec.rect) return it;
@@ -246,13 +484,31 @@ class DynamicPRTree {
   WorkEnv env_;
   DynamicPrTreeOptions opts_;
   size_t buffer_capacity_;
+
+  // ---- writer-private working state (guarded by write_mu_) -------------
   std::vector<RecordT> buffer_;
   std::vector<RTree<D>> levels_;
   // Keyed by id with exact-rectangle equality: two records may share an id
   // transiently (a deleted-but-unpurged copy plus a re-inserted one at a
   // new position), so tombstones must identify the full (id, rect) pair.
-  std::unordered_multimap<DataId, RectT> tombstones_;
+  TombstoneMap tombstones_;
   size_t live_ = 0;
+  // Frozen copies shared with published versions, re-made only when the
+  // corresponding working copy changed since the last publish.
+  std::shared_ptr<const std::vector<RecordT>> buffer_snap_;
+  std::shared_ptr<const TombstoneMap> tombstones_snap_;
+  bool buffer_dirty_ = false;
+  bool tombstones_dirty_ = false;
+
+  // ---- reader-facing state ---------------------------------------------
+  mutable EpochManager epochs_;
+  // A rootless tree over the same device: snapshot traversals borrow its
+  // QueryFrom/KnnSearchFrom (which never touch root/height/size), keeping
+  // them independent of the writer's mutable level objects.
+  RTree<D> view_;
+  std::mutex write_mu_;          // serializes Insert/Delete
+  mutable std::mutex version_mu_;  // guards version_
+  std::shared_ptr<const ForestVersion> version_;
 };
 
 }  // namespace prtree

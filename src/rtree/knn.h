@@ -44,6 +44,12 @@ Real MinDist(const std::array<Real, D>& p, const Rect<D>& r) {
   return std::sqrt(d2);
 }
 
+template <int D, typename Keep>
+std::vector<Neighbor<D>> KnnSearchFrom(const RTree<D>& tree, PageId root,
+                                       const std::array<Real, D>& point,
+                                       size_t k, QueryStats* stats,
+                                       BufferPool* pool, Keep keep);
+
 /// \brief Finds the `k` stored records closest to `point`, in increasing
 /// distance order (ties broken by id for determinism).  Returns fewer
 /// than `k` if the tree is smaller.  `stats` (optional) receives node
@@ -61,8 +67,26 @@ std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
                                    const std::array<Real, D>& point,
                                    size_t k, QueryStats* stats = nullptr,
                                    BufferPool* pool = nullptr) {
+  return KnnSearchFrom<D>(tree, tree.root(), point, k, stats, pool,
+                          [](const Record<D>&) { return true; });
+}
+
+/// \brief KnnSearch rooted at an explicit page with a record filter — the
+/// snapshot/forest entry point.  MVCC readers pass a published root
+/// captured under an EpochGuard (the tree's own root/height/size fields
+/// are never read, so a concurrent copy-on-write updater is safe); the
+/// logarithmic forest passes each level's root with a tombstone filter.
+/// `keep(rec)` decides whether a stored record is reported (and counted
+/// toward `k`); filtered records never enter the candidate heap.  With the
+/// tree's own root and an always-true filter this is exactly KnnSearch.
+template <int D, typename Keep>
+std::vector<Neighbor<D>> KnnSearchFrom(const RTree<D>& tree, PageId root,
+                                       const std::array<Real, D>& point,
+                                       size_t k, QueryStats* stats,
+                                       BufferPool* pool, Keep keep) {
   std::vector<Neighbor<D>> result;
-  if (k == 0 || tree.empty()) return result;
+  if (stats != nullptr) *stats = QueryStats{};
+  if (k == 0 || root == kInvalidPageId) return result;
 
   struct Item {
     Real dist;
@@ -81,7 +105,7 @@ std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
   };
   std::priority_queue<Item, std::vector<Item>, decltype(greater)> heap(
       greater);
-  heap.push(Item{0.0, false, tree.root(), {}});
+  heap.push(Item{0.0, false, root, {}});
 
   QueryStats local;
   const bool readahead = pool != nullptr && pool->readahead_enabled();
@@ -101,6 +125,7 @@ std::vector<Neighbor<D>> KnnSearch(const RTree<D>& tree,
       ++local.leaves_visited;
       for (int i = 0; i < node.count(); ++i) {
         Record<D> rec{node.GetRect(i), node.GetId(i)};
+        if (!keep(rec)) continue;
         heap.push(Item{MinDist<D>(point, rec.rect), true, 0, rec});
       }
     } else {

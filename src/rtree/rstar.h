@@ -23,6 +23,7 @@
 
 #include "rtree/rtree.h"
 #include "rtree/update.h"
+#include "rtree/update_io.h"
 
 namespace prtree {
 
@@ -40,12 +41,16 @@ class RStarUpdater {
   ///                         (R* recommends 0.4).
   /// \param reinsert_frac    fraction of entries force-reinserted on the
   ///                         first overflow per level (R* recommends 0.3).
+  /// \param epochs           optional: switches both the R* insert path
+  ///                         and the delegated Guttman delete path to
+  ///                         copy-on-write for snapshot readers.
   explicit RStarUpdater(RTree<D>* tree, double min_fill = 0.4,
                         double reinsert_frac = 0.3,
-                        BufferPool* pool = nullptr)
+                        BufferPool* pool = nullptr,
+                        EpochManager* epochs = nullptr)
       : tree_(tree),
-        guttman_(tree, SplitPolicy::kQuadratic, min_fill, pool),
-        pool_(pool) {
+        guttman_(tree, SplitPolicy::kQuadratic, min_fill, pool, epochs),
+        io_(tree, pool, epochs) {
     PRTREE_CHECK(min_fill > 0.0 && min_fill <= 0.5);
     PRTREE_CHECK(reinsert_frac > 0.0 && reinsert_frac < 0.5);
     min_entries_ = std::max<size_t>(
@@ -58,6 +63,7 @@ class RStarUpdater {
 
   /// Inserts one record with the full R* overflow treatment.
   void Insert(const RecordT& rec) {
+    io_.BeginOp();
     // Work queue of (rect, id, target level): forced reinsertion pushes
     // evicted entries here; each is allowed to trigger one reinsertion
     // per level, then splits take over (the R* rule).
@@ -71,6 +77,7 @@ class RStarUpdater {
       InsertEntry(p.rect, p.id, p.level);
     }
     tree_->set_size(tree_->size() + 1);
+    io_.EndOp();
   }
 
   /// Deletes the exactly matching record (Guttman/R* deletion).
@@ -84,25 +91,10 @@ class RStarUpdater {
   };
 
   struct InsertResult {
+    PageId page;  // id now holding the node (shadow under copy-on-write)
     RectT mbr;
     std::optional<std::pair<RectT, PageId>> split;
   };
-
-  /// Reads `page` into the private working buffer `buf`, through the pool
-  /// when one caches this tree (see RTreeUpdater::ReadNode).
-  void ReadNode(PageId page, std::byte* buf) {
-    if (pool_ == nullptr) {
-      AbortIfError(tree_->device()->Read(page, buf));
-      return;
-    }
-    PageGuard guard;
-    tree_->PinNode(page, pool_, &guard);
-    std::memcpy(buf, guard.data(), tree_->block_size());
-  }
-  void WriteNode(PageId page, const std::byte* buf) {
-    AbortIfError(tree_->device()->Write(page, buf));
-    if (pool_ != nullptr) pool_->Invalidate(page);
-  }
 
   void InsertEntry(const RectT& rect, uint32_t id, int target_level) {
     if (tree_->empty()) {
@@ -111,8 +103,7 @@ class RStarUpdater {
       NodeView<D> node(buf.data(), tree_->block_size());
       node.Format(0);
       node.Append(rect, id);
-      PageId page = tree_->device()->Allocate();
-      WriteNode(page, buf.data());
+      PageId page = io_.WriteNew(buf.data());
       tree_->SetRoot(page, 0, tree_->size());
       return;
     }
@@ -120,22 +111,24 @@ class RStarUpdater {
     InsertResult res =
         InsertRec(tree_->root(), tree_->height(), rect, id, target_level);
     if (res.split.has_value()) {
-      GrowRoot(res.mbr, *res.split);
+      GrowRoot(res.page, res.mbr, *res.split);
+    } else if (res.page != tree_->root()) {
+      tree_->SetRoot(res.page, tree_->height(), tree_->size());
     }
   }
 
   InsertResult InsertRec(PageId page, int level, const RectT& rect,
                          uint32_t id, int target_level) {
     std::vector<std::byte> buf(tree_->block_size());
-    ReadNode(page, buf.data());
+    io_.Read(page, buf.data());
     NodeView<D> node(buf.data(), tree_->block_size());
     PRTREE_CHECK(node.level() == level);
 
     if (level == target_level) {
       if (!node.full()) {
         node.Append(rect, id);
-        WriteNode(page, buf.data());
-        return InsertResult{node.ComputeMbr(), std::nullopt};
+        PageId out = io_.Write(page, buf.data());
+        return InsertResult{out, node.ComputeMbr(), std::nullopt};
       }
       return OverflowTreatment(page, &node, buf.data(), rect, id, level);
     }
@@ -143,16 +136,16 @@ class RStarUpdater {
     int child_idx = ChooseSubtree(node, rect, level == target_level + 1);
     InsertResult child = InsertRec(node.GetId(child_idx), level - 1, rect,
                                    id, target_level);
-    node.SetEntry(child_idx, child.mbr, node.GetId(child_idx));
+    node.SetEntry(child_idx, child.mbr, child.page);
     if (!child.split.has_value()) {
-      WriteNode(page, buf.data());
-      return InsertResult{node.ComputeMbr(), std::nullopt};
+      PageId out = io_.Write(page, buf.data());
+      return InsertResult{out, node.ComputeMbr(), std::nullopt};
     }
     const auto& [split_mbr, split_page] = *child.split;
     if (!node.full()) {
       node.Append(split_mbr, split_page);
-      WriteNode(page, buf.data());
-      return InsertResult{node.ComputeMbr(), std::nullopt};
+      PageId out = io_.Write(page, buf.data());
+      return InsertResult{out, node.ComputeMbr(), std::nullopt};
     }
     return OverflowTreatment(page, &node, buf.data(), split_mbr, split_page,
                              level);
@@ -260,8 +253,8 @@ class RStarUpdater {
     for (size_t i = evict; i < entries.size(); ++i) {
       node->Append(entries[i].rect, entries[i].id);
     }
-    WriteNode(page, buf);
-    return InsertResult{node->ComputeMbr(), std::nullopt};
+    PageId out = io_.Write(page, buf);
+    return InsertResult{out, node->ComputeMbr(), std::nullopt};
   }
 
   /// R* topological split: axis by minimal margin sum, distribution by
@@ -371,7 +364,7 @@ class RStarUpdater {
     for (int i = 0; i < best_k; ++i) {
       node->Append(entries[best_order[i]].rect, entries[best_order[i]].id);
     }
-    WriteNode(page, buf);
+    PageId page_a = io_.Write(page, buf);
     RectT mbr_a = node->ComputeMbr();
 
     std::vector<std::byte> buf_b(tree_->block_size());
@@ -380,21 +373,20 @@ class RStarUpdater {
     for (int i = best_k; i < total; ++i) {
       node_b.Append(entries[best_order[i]].rect, entries[best_order[i]].id);
     }
-    PageId page_b = tree_->device()->Allocate();
-    WriteNode(page_b, buf_b.data());
-    return InsertResult{mbr_a, std::make_pair(node_b.ComputeMbr(), page_b)};
+    PageId page_b = io_.WriteNew(buf_b.data());
+    return InsertResult{page_a, mbr_a,
+                        std::make_pair(node_b.ComputeMbr(), page_b)};
   }
 
-  void GrowRoot(const RectT& old_mbr,
+  void GrowRoot(PageId old_page, const RectT& old_mbr,
                 const std::pair<RectT, PageId>& sibling) {
     std::vector<std::byte> buf(tree_->block_size());
     NodeView<D> node(buf.data(), tree_->block_size());
     int new_height = tree_->height() + 1;
     node.Format(static_cast<uint16_t>(new_height));
-    node.Append(old_mbr, tree_->root());
+    node.Append(old_mbr, old_page);
     node.Append(sibling.first, sibling.second);
-    PageId page = tree_->device()->Allocate();
-    WriteNode(page, buf.data());
+    PageId page = io_.WriteNew(buf.data());
     tree_->SetRoot(page, new_height, tree_->size());
     if (static_cast<size_t>(new_height) >= reinserted_levels_.size()) {
       reinserted_levels_.resize(new_height + 1, false);
@@ -403,7 +395,7 @@ class RStarUpdater {
 
   RTree<D>* tree_;
   RTreeUpdater<D> guttman_;  // deletion path
-  BufferPool* pool_;
+  UpdaterIO<D> io_;
   size_t min_entries_;
   size_t reinsert_count_;
   std::vector<Pending> pending_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "rtree/rtree.h"
+#include "rtree/update_io.h"
 
 namespace prtree {
 
@@ -28,8 +29,11 @@ enum class SplitPolicy {
 
 /// \brief Dynamic insert/delete on an RTree, per Guttman.
 ///
-/// Writes go directly to the device; if a BufferPool caches this tree's
-/// pages, pass it so updated pages are invalidated.
+/// Writes go through UpdaterIO: in place (invalidating any BufferPool
+/// frame) by default, copy-on-write when an EpochManager makes the tree
+/// multi-versioned — then every op builds its replacement pages off to
+/// the side, publishes the new root atomically, and retires the pages it
+/// shadowed, so snapshot readers are never disturbed.
 template <int D>
 class RTreeUpdater {
  public:
@@ -41,10 +45,13 @@ class RTreeUpdater {
   /// \param min_fill minimum node occupancy after deletion and the floor
   ///                 for split groups, as a fraction of capacity.  Guttman
   ///                 requires m <= capacity/2; 0.4 is the customary value.
+  /// \param epochs   optional: switches the write path to copy-on-write
+  ///                 for epoch-protected snapshot readers.
   explicit RTreeUpdater(RTree<D>* tree,
                         SplitPolicy policy = SplitPolicy::kQuadratic,
-                        double min_fill = 0.4, BufferPool* pool = nullptr)
-      : tree_(tree), policy_(policy), pool_(pool) {
+                        double min_fill = 0.4, BufferPool* pool = nullptr,
+                        EpochManager* epochs = nullptr)
+      : tree_(tree), policy_(policy), io_(tree, pool, epochs) {
     PRTREE_CHECK(min_fill > 0.0 && min_fill <= 0.5);
     min_entries_ = std::max<size_t>(
         1, static_cast<size_t>(min_fill *
@@ -53,18 +60,27 @@ class RTreeUpdater {
 
   /// \brief Inserts one record in O(log_B N) I/Os.
   void Insert(const RecordT& rec) {
+    io_.BeginOp();
     InsertEntry(rec.rect, rec.id, /*target_level=*/0);
     tree_->set_size(tree_->size() + 1);
+    io_.EndOp();
   }
 
   /// \brief Deletes the record matching `rec` exactly (rectangle and id).
   /// Returns false if no such record is stored.
   bool Delete(const RecordT& rec) {
     if (tree_->empty()) return false;
+    io_.BeginOp();
     std::vector<Orphan> orphans;
     DeleteResult res = DeleteRec(tree_->root(), tree_->height(), rec,
                                  &orphans);
-    if (!res.found) return false;
+    if (!res.found) {
+      io_.EndOp();  // nothing written, nothing retired
+      return false;
+    }
+    if (res.page != tree_->root()) {
+      tree_->SetRoot(res.page, tree_->height(), tree_->size());
+    }
     tree_->set_size(tree_->size() - 1);
     // Shrink the root while it is an internal node with a single child.
     ShrinkRoot();
@@ -73,6 +89,7 @@ class RTreeUpdater {
     for (const Orphan& o : orphans) {
       InsertEntry(o.rect, o.id, o.level);
     }
+    io_.EndOp();
     return true;
   }
 
@@ -87,35 +104,17 @@ class RTreeUpdater {
   };
 
   struct InsertResult {
+    PageId page;                                      // id now holding node
     RectT mbr;                                        // updated subtree MBR
     std::optional<std::pair<RectT, PageId>> split;    // new sibling, if any
   };
 
   struct DeleteResult {
+    PageId page = kInvalidPageId;  // id now holding the (written) node
     bool found = false;
     bool underflow = false;  // node dropped below min_entries
     RectT mbr = RectT::Empty();
   };
-
-  // ---- shared plumbing -----------------------------------------------
-
-  /// Reads `page` into the private working buffer `buf`, through the pool
-  /// when one caches this tree (a pinned guard is copied out — update paths
-  /// mutate and write back, so they need an owned buffer either way).
-  /// Without a pool, reads straight from the device into `buf`.
-  void ReadNode(PageId page, std::byte* buf) {
-    if (pool_ == nullptr) {
-      AbortIfError(tree_->device()->Read(page, buf));
-      return;
-    }
-    PageGuard guard;
-    tree_->PinNode(page, pool_, &guard);
-    std::memcpy(buf, guard.data(), tree_->block_size());
-  }
-  void WriteNode(PageId page, const std::byte* buf) {
-    AbortIfError(tree_->device()->Write(page, buf));
-    if (pool_ != nullptr) pool_->Invalidate(page);
-  }
 
   // ---- insertion ------------------------------------------------------
 
@@ -135,8 +134,7 @@ class RTreeUpdater {
       NodeView<D> node(buf.data(), tree_->block_size());
       node.Format(0);
       node.Append(rect, id);
-      PageId page = tree_->device()->Allocate();
-      WriteNode(page, buf.data());
+      PageId page = io_.WriteNew(buf.data());
       tree_->SetRoot(page, 0, tree_->size());
       return;
     }
@@ -144,22 +142,26 @@ class RTreeUpdater {
     InsertResult res =
         InsertRec(tree_->root(), tree_->height(), rect, id, target_level);
     if (res.split.has_value()) {
-      GrowRoot(res.mbr, *res.split);
+      GrowRoot(res.page, res.mbr, *res.split);
+    } else if (res.page != tree_->root()) {
+      // Copy-on-write shadowed the root itself; re-point (writer-private
+      // until EndOp publishes).
+      tree_->SetRoot(res.page, tree_->height(), tree_->size());
     }
   }
 
   InsertResult InsertRec(PageId page, int level, const RectT& rect,
                          uint32_t id, int target_level) {
     std::vector<std::byte> buf(tree_->block_size());
-    ReadNode(page, buf.data());
+    io_.Read(page, buf.data());
     NodeView<D> node(buf.data(), tree_->block_size());
     PRTREE_CHECK(node.level() == level);
 
     if (level == target_level) {
       if (!node.full()) {
         node.Append(rect, id);
-        WriteNode(page, buf.data());
-        return InsertResult{node.ComputeMbr(), std::nullopt};
+        PageId out = io_.Write(page, buf.data());
+        return InsertResult{out, node.ComputeMbr(), std::nullopt};
       }
       return SplitNode(page, &node, buf.data(), rect, id);
     }
@@ -167,16 +169,16 @@ class RTreeUpdater {
     int child_idx = ChooseSubtree(node, rect);
     InsertResult child_res = InsertRec(node.GetId(child_idx), level - 1, rect,
                                        id, target_level);
-    node.SetEntry(child_idx, child_res.mbr, node.GetId(child_idx));
+    node.SetEntry(child_idx, child_res.mbr, child_res.page);
     if (!child_res.split.has_value()) {
-      WriteNode(page, buf.data());
-      return InsertResult{node.ComputeMbr(), std::nullopt};
+      PageId out = io_.Write(page, buf.data());
+      return InsertResult{out, node.ComputeMbr(), std::nullopt};
     }
     const auto& [split_mbr, split_page] = *child_res.split;
     if (!node.full()) {
       node.Append(split_mbr, split_page);
-      WriteNode(page, buf.data());
-      return InsertResult{node.ComputeMbr(), std::nullopt};
+      PageId out = io_.Write(page, buf.data());
+      return InsertResult{out, node.ComputeMbr(), std::nullopt};
     }
     return SplitNode(page, &node, buf.data(), split_mbr, split_page);
   }
@@ -225,7 +227,7 @@ class RTreeUpdater {
     uint16_t level = node->level();
     node->Format(level);
     for (int i : group_a) node->Append(entries[i].rect, entries[i].id);
-    WriteNode(page, buf);
+    PageId page_a = io_.Write(page, buf);
     RectT mbr_a = node->ComputeMbr();
 
     std::vector<std::byte> buf_b(tree_->block_size());
@@ -233,10 +235,9 @@ class RTreeUpdater {
     node_b.Format(level);
     for (int i : group_b) node_b.Append(entries[i].rect, entries[i].id);
     RectT mbr_b = node_b.ComputeMbr();
-    PageId page_b = tree_->device()->Allocate();
-    WriteNode(page_b, buf_b.data());
+    PageId page_b = io_.WriteNew(buf_b.data());
 
-    return InsertResult{mbr_a, std::make_pair(mbr_b, page_b)};
+    return InsertResult{page_a, mbr_a, std::make_pair(mbr_b, page_b)};
   }
 
   template <typename Entry>
@@ -388,16 +389,15 @@ class RTreeUpdater {
     }
   }
 
-  void GrowRoot(const RectT& old_mbr,
+  void GrowRoot(PageId old_page, const RectT& old_mbr,
                 const std::pair<RectT, PageId>& sibling) {
     std::vector<std::byte> buf(tree_->block_size());
     NodeView<D> node(buf.data(), tree_->block_size());
     int new_height = tree_->height() + 1;
     node.Format(static_cast<uint16_t>(new_height));
-    node.Append(old_mbr, tree_->root());
+    node.Append(old_mbr, old_page);
     node.Append(sibling.first, sibling.second);
-    PageId page = tree_->device()->Allocate();
-    WriteNode(page, buf.data());
+    PageId page = io_.WriteNew(buf.data());
     tree_->SetRoot(page, new_height, tree_->size());
   }
 
@@ -406,15 +406,16 @@ class RTreeUpdater {
   DeleteResult DeleteRec(PageId page, int level, const RecordT& rec,
                          std::vector<Orphan>* orphans) {
     std::vector<std::byte> buf(tree_->block_size());
-    ReadNode(page, buf.data());
+    io_.Read(page, buf.data());
     NodeView<D> node(buf.data(), tree_->block_size());
     DeleteResult res;
+    res.page = page;
 
     if (node.is_leaf()) {
       for (int i = 0; i < node.count(); ++i) {
         if (node.GetId(i) == rec.id && node.GetRect(i) == rec.rect) {
           node.RemoveSwap(i);
-          WriteNode(page, buf.data());
+          res.page = io_.Write(page, buf.data());
           res.found = true;
           res.underflow = node.count() < min_entries_;
           res.mbr = node.ComputeMbr();
@@ -431,13 +432,16 @@ class RTreeUpdater {
       if (!child_res.found) continue;
       if (child_res.underflow && level - 1 < tree_->height()) {
         // Condense: drop the child node, salvage its entries for
-        // reinsertion at their level.
-        CollectOrphans(child, orphans);
+        // reinsertion at their level.  child_res.page holds the
+        // post-delete node (a fresh shadow under copy-on-write, `child`
+        // itself otherwise); the original was already retired by the
+        // child's Write.
+        CollectOrphans(child_res.page, orphans);
         node.RemoveSwap(i);
       } else {
-        node.SetEntry(i, child_res.mbr, child);
+        node.SetEntry(i, child_res.mbr, child_res.page);
       }
-      WriteNode(page, buf.data());
+      res.page = io_.Write(page, buf.data());
       res.found = true;
       res.underflow = node.count() < min_entries_;
       res.mbr = node.ComputeMbr();
@@ -447,45 +451,42 @@ class RTreeUpdater {
   }
 
   /// Moves all entries of the subtree node `page` into the orphan list and
-  /// frees the node block.
+  /// releases the node block.
   void CollectOrphans(PageId page, std::vector<Orphan>* orphans) {
     std::vector<std::byte> buf(tree_->block_size());
-    ReadNode(page, buf.data());
+    io_.Read(page, buf.data());
     NodeView<D> node(buf.data(), tree_->block_size());
     for (int i = 0; i < node.count(); ++i) {
       orphans->push_back(Orphan{node.GetRect(i), node.GetId(i),
                                 node.level() == 0 ? 0 : node.level()});
     }
-    if (pool_ != nullptr) pool_->Invalidate(page);
-    tree_->device()->Free(page);
+    io_.Release(page);
   }
 
   void ShrinkRoot() {
     std::vector<std::byte> buf(tree_->block_size());
     while (true) {
       if (tree_->empty()) return;
-      ReadNode(tree_->root(), buf.data());
+      io_.Read(tree_->root(), buf.data());
       NodeView<D> node(buf.data(), tree_->block_size());
       if (node.count() == 0) {
         // Fully drained (leaf root) or fully condensed (internal root whose
         // only child underflowed); orphan reinsertion rebuilds from empty.
         size_t size = tree_->size();
-        if (pool_ != nullptr) pool_->Invalidate(tree_->root());
-        tree_->device()->Free(tree_->root());
+        io_.Release(tree_->root());
         tree_->SetRoot(kInvalidPageId, 0, size);
         return;
       }
       if (node.is_leaf() || node.count() > 1) return;
       PageId only_child = node.GetId(0);
-      if (pool_ != nullptr) pool_->Invalidate(tree_->root());
-      tree_->device()->Free(tree_->root());
+      io_.Release(tree_->root());
       tree_->SetRoot(only_child, tree_->height() - 1, tree_->size());
     }
   }
 
   RTree<D>* tree_;
   SplitPolicy policy_;
-  BufferPool* pool_;
+  UpdaterIO<D> io_;
   size_t min_entries_;
 };
 

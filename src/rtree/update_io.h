@@ -1,0 +1,142 @@
+// Shared node-I/O helper for the dynamic updaters (rtree/update.h,
+// rtree/rstar.h).  Both previously carried identical copies of the
+// pool-read-then-copy and write-then-invalidate plumbing; it lives here
+// once now, which is also the single place where copy-on-write shadowing
+// happens when an EpochManager makes the tree multi-versioned.
+//
+// Two modes:
+//
+//  * Plain (no EpochManager): byte-for-byte the historical behaviour.
+//    Write() updates the page in place and invalidates the pool frame;
+//    Release() invalidates and frees immediately.  The device-op sequence
+//    (Read/Write/Allocate/Free order) is exactly what the pre-MVCC
+//    updaters issued, so page-id layouts and I/O counters stay identical.
+//
+//  * MVCC (EpochManager attached): a snapshot reader may hold the current
+//    published root at any moment, so no page that version can reach is
+//    ever overwritten.  Write() shadows: the new bytes go to a freshly
+//    allocated page and the old id is queued for retirement.  Pages
+//    allocated within the current op (tracked in `fresh_`) are invisible
+//    to every published version until EndOp(), so they may be rewritten
+//    in place — that keeps an op's page count proportional to the path it
+//    touches rather than the number of writes it issues.  EndOp()
+//    publishes the tree's new root (RTree::Publish, a release-store) and
+//    only then hands the replaced pages to EpochManager::Retire, so a
+//    reader can never load a root whose subtree is already being freed.
+//
+// Pool discipline: in-place writes (plain mode, or fresh pages the
+// updater itself re-read through the pool) invalidate their frame right
+// away; shadowed-out pages keep their frames — the bytes stay accurate
+// for snapshot readers — and are invalidated at epoch-drain time by the
+// manager itself (the pool is attached on construction).
+
+#ifndef PRTREE_RTREE_UPDATE_IO_H_
+#define PRTREE_RTREE_UPDATE_IO_H_
+
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "io/epoch.h"
+#include "rtree/rtree.h"
+
+namespace prtree {
+
+template <int D>
+class UpdaterIO {
+ public:
+  /// \param tree    tree whose nodes are read/written (not owned).
+  /// \param pool    optional read cache over the tree's pages.
+  /// \param epochs  optional: presence switches on copy-on-write.  Must
+  ///                manage the same device as `tree`.
+  UpdaterIO(RTree<D>* tree, BufferPool* pool, EpochManager* epochs)
+      : tree_(tree), pool_(pool), epochs_(epochs) {
+    if (epochs_ != nullptr && pool_ != nullptr) epochs_->AttachPool(pool_);
+  }
+
+  bool mvcc() const { return epochs_ != nullptr; }
+
+  /// Marks the start of one logical update op (one Insert/Delete).
+  void BeginOp() {
+    PRTREE_CHECK(retired_.empty());  // missing EndOp on the previous op
+    fresh_.clear();
+  }
+
+  /// Reads `page` into the private working buffer `buf`, through the pool
+  /// when one caches this tree (a pinned guard is copied out — update
+  /// paths mutate and write back, so they need an owned buffer either
+  /// way).  Without a pool, reads straight from the device into `buf`.
+  void Read(PageId page, std::byte* buf) {
+    if (pool_ == nullptr) {
+      AbortIfError(tree_->device()->Read(page, buf));
+      return;
+    }
+    PageGuard guard;
+    tree_->PinNode(page, pool_, &guard);
+    std::memcpy(buf, guard.data(), tree_->block_size());
+  }
+
+  /// Stores `buf` as the new contents of logical node `page` and returns
+  /// the id now holding them: `page` itself when writing in place, or a
+  /// fresh shadow page under MVCC (the caller must re-point the parent
+  /// entry — or the root — at the returned id).
+  PageId Write(PageId page, const std::byte* buf) {
+    if (epochs_ == nullptr || fresh_.count(page) != 0) {
+      AbortIfError(tree_->device()->Write(page, buf));
+      if (pool_ != nullptr) pool_->Invalidate(page);
+      return page;
+    }
+    PageId shadow = WriteNew(buf);
+    retired_.push_back(page);
+    return shadow;
+  }
+
+  /// Allocates a fresh page, writes `buf` there, returns its id.
+  PageId WriteNew(const std::byte* buf) {
+    PageId page = tree_->device()->Allocate();
+    AbortIfError(tree_->device()->Write(page, buf));
+    if (epochs_ != nullptr) {
+      fresh_.insert(page);
+    } else if (pool_ != nullptr) {
+      pool_->Invalidate(page);
+    }
+    return page;
+  }
+
+  /// The node at `page` left the tree (condensed away, shrunk root).
+  /// Plain mode frees it immediately; under MVCC a page some published
+  /// version may reference is queued for retirement instead, while a page
+  /// allocated within this op — never published — is freed eagerly.
+  void Release(PageId page) {
+    if (epochs_ != nullptr && fresh_.erase(page) == 0) {
+      retired_.push_back(page);
+      return;
+    }
+    if (pool_ != nullptr) pool_->Invalidate(page);
+    tree_->device()->Free(page);
+  }
+
+  /// Publishes the op — new readers now see the updated tree — then hands
+  /// the pages it replaced to the epoch manager.  The order is the MVCC
+  /// linchpin: pages retire only after no new reader can reach them.
+  void EndOp() {
+    tree_->Publish();
+    if (epochs_ != nullptr && !retired_.empty()) {
+      epochs_->Retire(std::move(retired_));
+      retired_.clear();
+    }
+    fresh_.clear();
+  }
+
+ private:
+  RTree<D>* tree_;
+  BufferPool* pool_;
+  EpochManager* epochs_;
+  std::unordered_set<PageId> fresh_;  // allocated by the op in flight
+  std::vector<PageId> retired_;       // replaced pages awaiting EndOp
+};
+
+}  // namespace prtree
+
+#endif  // PRTREE_RTREE_UPDATE_IO_H_

@@ -20,6 +20,10 @@ never break an old baseline).  What a key means decides how it is gated:
  * "deterministic" must be true in the current run — the benches set it
    false when their internal cross-checks (identical trees across thread
    counts, identical traversals across devices/budgets) break;
+ * latency keys (p50/p99 percentiles, any leaf ending in "_ms") are
+   echoed side-by-side with the baseline but never gated — like raw
+   seconds they do not transfer across machines, and unlike speedups the
+   mixed-workload percentiles also move with core count;
  * raw "seconds" and everything else numeric are reported but never gated:
    absolute wall-clock does not transfer between a laptop, a CI runner and
    a dev box (docs/TUNING.md covers re-baselining).
@@ -48,6 +52,9 @@ EXACT_LEAF_KEYS = {
     "queries",
     "threads",
     "budget",
+    "ops",
+    "final_size",
+    "knn_results",
 }
 
 # Reported, never gated.
@@ -73,6 +80,8 @@ def classify(path):
         return "deterministic"
     if "speedup" in path:
         return "speedup"
+    if leaf.endswith("_ms") or "p50" in leaf or "p99" in leaf:
+        return "latency"
     if leaf in EXACT_LEAF_KEYS:
         return "exact"
     if leaf in INFO_LEAF_KEYS:
@@ -89,6 +98,15 @@ def compare(baseline, current, threshold):
     for path in sorted(base):
         kind = classify(path)
         if kind == "info":
+            continue
+        if kind == "latency":
+            # Echo next to the baseline for eyeballing; never gate (absolute
+            # latency is machine-bound, and a bench may drop a percentile).
+            if path in cur and isinstance(cur[path], (int, float)):
+                notes.append(
+                    f"{path}: {cur[path]:.4f} vs baseline "
+                    f"{base[path]:.4f} (latency, not gated)"
+                )
             continue
         if path not in cur:
             failures.append(f"missing in current run: {path}")
@@ -158,6 +176,16 @@ def self_test():
     del truncated["points"][1]
     fails, _ = compare(baseline, truncated, 0.25)
     assert any("missing" in f for f in fails), fails
+
+    # Latency percentiles: echoed-but-never-gated, even when they drift
+    # wildly or disappear from the current run.
+    lat_base = {"legs": [{"threads": 2, "window_p50_ms": 0.5,
+                          "window_p99_ms": 2.0, "knn_p50_ms": 1.0}]}
+    lat_cur = {"legs": [{"threads": 2, "window_p50_ms": 50.0,
+                         "window_p99_ms": 0.001}]}  # knn_p50_ms dropped
+    fails, notes = compare(lat_base, lat_cur, 0.25)
+    assert fails == [], fails
+    assert sum("not gated" in n for n in notes) == 2, notes
 
     print("bench_compare self-test OK")
     return 0
