@@ -8,6 +8,7 @@
 #include "core/prtree.h"
 #include "core/pseudo_prtree.h"
 #include "geom/hilbert.h"
+#include "geom/rect_batch.h"
 #include "harness/experiment.h"
 #include "io/buffer_pool.h"
 #include "io/external_sort.h"
@@ -71,6 +72,88 @@ void BM_NodeScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 113);
 }
 BENCHMARK(BM_NodeScan);
+
+// ---- rect-kernel microbenches (geom/rect_batch.h) ----------------------
+//
+// One full node's worth of entries (fan-out 113 at 4 KB blocks) through
+// the batched kernels, with the dispatch pinned per leg: Arg(0) scalar,
+// Arg(1) the best level this build/CPU has (AVX2, NEON, or scalar again
+// when neither exists — the label says which ran).  Kernel regressions
+// show up here independently of tree traversal.
+
+constexpr size_t kKernelFanout = 113;
+
+struct KernelRuns {
+  std::vector<Real> xmin, ymin, xmax, ymax;
+};
+
+KernelRuns MakeKernelRuns(uint64_t seed) {
+  auto data = workload::MakeSize(kKernelFanout, 0.05, seed);
+  KernelRuns runs;
+  for (const auto& rec : data) {
+    runs.xmin.push_back(rec.rect.lo[0]);
+    runs.ymin.push_back(rec.rect.lo[1]);
+    runs.xmax.push_back(rec.rect.hi[0]);
+    runs.ymax.push_back(rec.rect.hi[1]);
+  }
+  return runs;
+}
+
+// Pins the kernel dispatch for one bench leg; restores on destruction.
+class ScopedSimdLevel {
+ public:
+  ScopedSimdLevel(benchmark::State& state, int64_t arg) : prev_(
+      ActiveSimdLevel()) {
+    SimdLevel actual = ForceSimdLevel(arg == 0 ? SimdLevel::kScalar
+                                               : SimdLevel::kAvx2);
+    state.SetLabel(SimdLevelName(actual));
+  }
+  ~ScopedSimdLevel() { ForceSimdLevel(prev_); }
+
+ private:
+  SimdLevel prev_;
+};
+
+void BM_RectKernelIntersect(benchmark::State& state) {
+  ScopedSimdLevel pin(state, state.range(0));
+  KernelRuns runs = MakeKernelRuns(4);
+  Rect2 q = MakeRect(0.4, 0.4, 0.6, 0.6);
+  uint64_t mask[RectMaskWords(kKernelFanout)];
+  for (auto _ : state) {
+    BatchIntersect(q, runs.xmin.data(), runs.ymin.data(), runs.xmax.data(),
+                   runs.ymax.data(), kKernelFanout, mask);
+    benchmark::DoNotOptimize(mask[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelFanout);
+}
+BENCHMARK(BM_RectKernelIntersect)->Arg(0)->Arg(1);
+
+void BM_RectKernelContains(benchmark::State& state) {
+  ScopedSimdLevel pin(state, state.range(0));
+  KernelRuns runs = MakeKernelRuns(4);
+  Rect2 q = MakeRect(0.2, 0.2, 0.8, 0.8);
+  uint64_t mask[RectMaskWords(kKernelFanout)];
+  for (auto _ : state) {
+    BatchContainedIn(q, runs.xmin.data(), runs.ymin.data(), runs.xmax.data(),
+                     runs.ymax.data(), kKernelFanout, mask);
+    benchmark::DoNotOptimize(mask[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelFanout);
+}
+BENCHMARK(BM_RectKernelContains)->Arg(0)->Arg(1);
+
+void BM_RectKernelMinDist(benchmark::State& state) {
+  ScopedSimdLevel pin(state, state.range(0));
+  KernelRuns runs = MakeKernelRuns(4);
+  Real d2[kKernelFanout];
+  for (auto _ : state) {
+    BatchMinDist2(0.5, 0.5, runs.xmin.data(), runs.ymin.data(),
+                  runs.xmax.data(), runs.ymax.data(), kKernelFanout, d2);
+    benchmark::DoNotOptimize(d2[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelFanout);
+}
+BENCHMARK(BM_RectKernelMinDist)->Arg(0)->Arg(1);
 
 void BM_PseudoPrTreeBuild(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));

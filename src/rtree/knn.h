@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "rtree/node_scan.h"
 #include "rtree/rtree.h"
 
 namespace prtree {
@@ -111,6 +112,7 @@ std::vector<Neighbor<D>> KnnSearchFrom(const RTree<D>& tree, PageId root,
   const bool readahead = pool != nullptr && pool->readahead_enabled();
   std::vector<PageId> frontier;  // children pushed by the current expansion
   PageGuard guard;  // hoisted: pool-less searches reuse one buffer
+  NodeScanner<D> scan;  // batched MINDIST scratch (rtree/node_scan.h)
   while (!heap.empty() && result.size() < k) {
     Item item = heap.top();
     heap.pop();
@@ -121,20 +123,23 @@ std::vector<Neighbor<D>> KnnSearchFrom(const RTree<D>& tree, PageId root,
     tree.PinNode(item.page, pool, &guard);
     ConstNodeView<D> node(guard.data(), tree.block_size());
     ++local.nodes_visited;
+    // One batched squared-MINDIST pass per node; std::sqrt(d2[i]) is
+    // bit-identical to the scalar MinDist above, so heap order, visit
+    // counters and reported distances are unchanged by layout or SIMD
+    // dispatch.
+    const Real* d2 = scan.MinDist2(node, point);
     if (node.is_leaf()) {
       ++local.leaves_visited;
       for (int i = 0; i < node.count(); ++i) {
         Record<D> rec{node.GetRect(i), node.GetId(i)};
         if (!keep(rec)) continue;
-        heap.push(Item{MinDist<D>(point, rec.rect), true, 0, rec});
+        heap.push(Item{std::sqrt(d2[i]), true, 0, rec});
       }
     } else {
       ++local.internal_visited;
       if (readahead) frontier.clear();
       for (int i = 0; i < node.count(); ++i) {
-        heap.push(Item{MinDist<D>(point, node.GetRect(i)), false,
-                       node.GetId(i),
-                       {}});
+        heap.push(Item{std::sqrt(d2[i]), false, node.GetId(i), {}});
         if (readahead) frontier.push_back(node.GetId(i));
       }
       if (readahead && frontier.size() >= 2) {

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "rtree/node_scan.h"
 #include "rtree/rtree.h"
 #include "rtree/update_io.h"
 
@@ -425,8 +426,16 @@ class RTreeUpdater {
       return res;
     }
 
-    for (int i = 0; i < node.count(); ++i) {
-      if (!node.GetRect(i).Contains(rec.rect)) continue;
+    // Batched "which subtrees can hold this rectangle" test (one kernel
+    // pass instead of count() scalar Contains); candidates are then tried
+    // in entry order exactly as before.  The indices are materialised
+    // before descending because the recursive call below reuses the
+    // scanner's mask scratch.
+    std::vector<int> candidates;
+    ForEachSetBit(scan_.CoversMask(node, rec.rect),
+                  RectMaskWords(node.count()),
+                  [&](int i) { candidates.push_back(i); });
+    for (int i : candidates) {
       PageId child = node.GetId(i);
       DeleteResult child_res = DeleteRec(child, level - 1, rec, orphans);
       if (!child_res.found) continue;
@@ -487,6 +496,7 @@ class RTreeUpdater {
   RTree<D>* tree_;
   SplitPolicy policy_;
   UpdaterIO<D> io_;
+  NodeScanner<D> scan_;  // batched delete-descent tests (rtree/node_scan.h)
   size_t min_entries_;
 };
 
