@@ -35,6 +35,16 @@
 //   --verify-cross-device  additionally run the sweep on the *other*
 //                        file-backed device and require identical leaf
 //                        I/Os and result counts point by point
+//   --write              run the build-phase write leg instead of the query
+//                        sweep: at each budget point (memory budget as a
+//                        fraction of the dataset's bytes) the same PR-tree
+//                        grid build runs once on the plain file backend
+//                        (scalar pwrites) and once on --device (staged
+//                        WriteBatch submissions), on real temp files.  The
+//                        device files must hash identically (FNV-64 after
+//                        Sync+close) and every demand counter must match —
+//                        batching may only move wall-clock.  Writes
+//                        BENCH_writepath.json (--out overrides).
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,9 +53,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "core/prtree.h"
 #include "harness/experiment.h"
 #include "io/buffer_pool.h"
 #include "io/uring_block_device.h"
+#include "io/write_stager.h"
 #include "util/timer.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
@@ -250,6 +264,255 @@ std::string JsonForSweep(const SweepResult& r,
   return json;
 }
 
+// ---------------------------------------------------------------------------
+// --write: the build-phase leg.  Same PR-tree grid build, scalar pwrites vs
+// staged WriteBatch submissions, byte-identity asserted via an FNV-64 hash
+// of the closed device file.
+
+struct WritePoint {
+  double budget_frac = 0;
+  size_t memory_bytes = 0;
+  double seconds = 0;
+  uint64_t writes = 0;
+  uint64_t demand_reads = 0;
+  uint64_t write_batches = 0;
+  uint64_t io_blocks = 0;  // reads + writes: the paper's build cost (§3.3)
+  uint64_t file_hash = 0;  // FNV-64 of the device file after Sync + close
+};
+
+struct WriteLeg {
+  std::string device;
+  bool ring_active = false;
+  bool direct_io = false;
+  std::vector<WritePoint> points;
+};
+
+uint64_t FnvHashFile(const std::string& path) {
+  uint64_t h = 1469598103934665603ull;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::vector<unsigned char> buf(1 << 16);
+  size_t got;
+  while ((got = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+    for (size_t i = 0; i < got; ++i) {
+      h ^= buf[i];
+      h *= 1099511628211ull;
+    }
+  }
+  std::fclose(f);
+  return h;
+}
+
+WriteLeg RunWriteLeg(const std::string& device_kind, const std::string& path,
+                     bool direct_io, const std::vector<Record2>& data,
+                     const std::vector<double>& budgets, int repeats) {
+  WriteLeg leg;
+  leg.device = device_kind;
+  const size_t data_bytes = data.size() * sizeof(Record2);
+  for (double frac : budgets) {
+    WritePoint pt;
+    pt.budget_frac = frac;
+    pt.memory_bytes = std::max<size_t>(
+        1u << 20, static_cast<size_t>(frac * static_cast<double>(data_bytes)));
+    for (int rep = 0; rep < repeats; ++rep) {
+      std::remove(path.c_str());
+      harness::DeviceSpec spec;
+      spec.kind = device_kind;
+      spec.path = path;
+      spec.direct_io = direct_io;
+      auto dev = harness::OpenDeviceOrDie(spec, kDefaultBlockSize);
+      if (auto* uring = dynamic_cast<UringBlockDevice*>(dev.get())) {
+        leg.ring_active = uring->ring_active();
+      }
+      if (auto* file = dynamic_cast<FileBlockDevice*>(dev.get())) {
+        leg.direct_io = file->direct_io();
+      }
+      WorkEnv env{dev.get(), pt.memory_bytes};
+      PrTreeOptions opts;
+      opts.force_grid = true;  // always the external, write-heavy path
+      dev->ResetStats();
+      Timer timer;
+      RTree<2> tree(dev.get());
+      AbortIfError(BulkLoadPrTree<2>(env, data, &tree, opts));
+      AbortIfError(dev->Sync());
+      double seconds = timer.Seconds();
+      if (rep == 0 || seconds < pt.seconds) pt.seconds = seconds;
+      IoStats io = dev->stats();
+      pt.writes = io.writes;
+      pt.demand_reads = io.reads;
+      pt.write_batches = io.write_batches;
+      pt.io_blocks = io.Total();
+      dev.reset();  // close before hashing: the file is the artifact
+      pt.file_hash = FnvHashFile(path);
+    }
+    leg.points.push_back(pt);
+  }
+  std::remove(path.c_str());
+  return leg;
+}
+
+std::string JsonForWriteLeg(const WriteLeg& leg) {
+  char buf[512];
+  std::string json = "  {\n";
+  json += "    \"device\": \"" + leg.device + "\",\n";
+  json += std::string("    \"ring_active\": ") +
+          (leg.ring_active ? "true" : "false") + ",\n";
+  json += std::string("    \"direct_io\": ") +
+          (leg.direct_io ? "true" : "false") + ",\n";
+  json += "    \"points\": [\n";
+  for (size_t i = 0; i < leg.points.size(); ++i) {
+    const WritePoint& pt = leg.points[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "      {\"budget\": %.4f, \"seconds\": %.6f, \"writes\": %llu, "
+        "\"demand_reads\": %llu, \"write_batches\": %llu, "
+        "\"io_blocks\": %llu, \"file_hash\": \"%016llx\"}%s\n",
+        pt.budget_frac, pt.seconds,
+        static_cast<unsigned long long>(pt.writes),
+        static_cast<unsigned long long>(pt.demand_reads),
+        static_cast<unsigned long long>(pt.write_batches),
+        static_cast<unsigned long long>(pt.io_blocks),
+        static_cast<unsigned long long>(pt.file_hash),
+        i + 1 < leg.points.size() ? "," : "");
+    json += buf;
+  }
+  json += "    ]\n  }";
+  return json;
+}
+
+// Isolated write-engine microbenchmark: the same page train written once
+// through the scalar Write() loop and once through staged WriteBatch
+// submissions, a fresh device each time.  The full build legs above mix in
+// the pipeline's demand *reads* (untouched by batching), so their ratio is
+// Amdahl-diluted; this one measures the write path alone.
+double MicroWriteSeconds(const std::string& device_kind,
+                         const std::string& path, bool direct_io,
+                         bool batched, size_t pages, int repeats) {
+  double best = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::remove(path.c_str());
+    harness::DeviceSpec spec;
+    spec.kind = device_kind;
+    spec.path = path;
+    spec.direct_io = direct_io;
+    auto dev = harness::OpenDeviceOrDie(spec, kDefaultBlockSize);
+    std::vector<std::byte> buf(kDefaultBlockSize);
+    std::vector<PageId> ids;
+    ids.reserve(pages);
+    for (size_t i = 0; i < pages; ++i) ids.push_back(dev->Allocate());
+    Timer timer;
+    {
+      WriteStager stager(dev.get(), batched ? 0 : 1);
+      for (size_t i = 0; i < pages; ++i) {
+        std::memset(buf.data(), static_cast<int>(i & 0xff), buf.size());
+        stager.Stage(ids[i], buf.data());
+      }
+    }
+    AbortIfError(dev->Sync());
+    double seconds = timer.Seconds();
+    if (rep == 0 || seconds < best) best = seconds;
+    dev.reset();
+  }
+  std::remove(path.c_str());
+  return best;
+}
+
+int RunWritePhase(const std::string& device_kind, const std::string& path,
+                  bool direct_io, size_t n, uint64_t seed,
+                  const std::vector<double>& budgets, int repeats,
+                  const std::string& out_path) {
+  auto data = workload::MakeSize(n, 0.001, seed);
+  std::string base = path.empty()
+                         ? "/tmp/prtree_writepath." +
+                               std::to_string(static_cast<long>(getpid()))
+                         : path;
+
+  std::printf("=== outofcore_sweep --write: n=%zu, scalar file vs batched "
+              "%s ===\n", n, device_kind.c_str());
+  WriteLeg scalar = RunWriteLeg("file", base + ".scalar", /*direct_io=*/
+                                direct_io, data, budgets, repeats);
+  WriteLeg batched =
+      RunWriteLeg(device_kind, base + ".batched", direct_io, data, budgets,
+                  repeats);
+
+  bool ok = true;
+  std::printf("%8s %10s %10s %8s %12s %9s %8s\n", "budget", "scalar s",
+              "batched s", "speedup", "io_blocks", "batches", "bytes");
+  for (size_t b = 0; b < budgets.size(); ++b) {
+    const WritePoint& s = scalar.points[b];
+    const WritePoint& u = batched.points[b];
+    bool same = s.file_hash == u.file_hash && s.writes == u.writes &&
+                s.demand_reads == u.demand_reads &&
+                s.io_blocks == u.io_blocks;
+    if (!same) {
+      std::fprintf(stderr,
+                   "!! budget %.4f: batched build diverged from scalar "
+                   "(hash %016llx vs %016llx, writes %llu vs %llu)\n",
+                   s.budget_frac,
+                   static_cast<unsigned long long>(u.file_hash),
+                   static_cast<unsigned long long>(s.file_hash),
+                   static_cast<unsigned long long>(u.writes),
+                   static_cast<unsigned long long>(s.writes));
+      ok = false;
+    }
+    std::printf("%8.4f %10.3f %10.3f %7.2fx %12llu %9llu %8s\n",
+                s.budget_frac, s.seconds, u.seconds,
+                u.seconds > 0 ? s.seconds / u.seconds : 1.0,
+                static_cast<unsigned long long>(s.io_blocks),
+                static_cast<unsigned long long>(u.write_batches),
+                same ? "equal" : "DIFFER");
+  }
+
+  const size_t micro_pages = std::max<size_t>(1024, n / 40);
+  double micro_scalar = MicroWriteSeconds("file", base + ".scalar",
+                                          direct_io, /*batched=*/false,
+                                          micro_pages, repeats);
+  double micro_batched = MicroWriteSeconds(device_kind, base + ".batched",
+                                           direct_io, /*batched=*/true,
+                                           micro_pages, repeats);
+  double micro_speedup =
+      micro_batched > 0 ? micro_scalar / micro_batched : 1.0;
+  std::printf("write-only micro (%zu pages): scalar %.3fs, batched %.3fs "
+              "-> %.2fx\n", micro_pages, micro_scalar, micro_batched,
+              micro_speedup);
+
+  std::string json = "{\n  \"bench\": \"writepath\",\n";
+  json += "  \"n\": " + std::to_string(n) + ",\n";
+  json += "  \"micro_pages\": " + std::to_string(micro_pages) + ",\n";
+  json += "  \"legs\": [\n" + JsonForWriteLeg(scalar) + ",\n" +
+          JsonForWriteLeg(batched) + "\n  ],\n";
+  // Same-machine wall-clock ratio, the only gateable timing number.
+  json += "  \"speedup_writebatch\": {";
+  char buf[64];
+  for (size_t b = 0; b < budgets.size(); ++b) {
+    const WritePoint& s = scalar.points[b];
+    const WritePoint& u = batched.points[b];
+    std::snprintf(buf, sizeof(buf), "%s\"%.4f\": %.3f", b == 0 ? "" : ", ",
+                  budgets[b], u.seconds > 0 ? s.seconds / u.seconds : 1.0);
+    json += buf;
+  }
+  json += "},\n";
+  std::snprintf(buf, sizeof(buf), "  \"speedup_writebatch_micro\": %.3f,\n",
+                micro_speedup);
+  json += buf;
+  json += std::string("  \"deterministic\": ") + (ok ? "true" : "false") +
+          "\n}\n";
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "BYTE-IDENTITY CHECK FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,6 +527,8 @@ int main(int argc, char** argv) {
   bool direct_io = false;
   bool smoke = false;
   bool verify_cross = false;
+  bool write_phase = false;
+  bool out_set = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--n=", 4) == 0) {
@@ -289,18 +554,22 @@ int main(int argc, char** argv) {
       if (repeats < 1) repeats = 1;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
+      out_set = true;
     } else if (std::strcmp(arg, "--direct") == 0) {
       direct_io = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(arg, "--verify-cross-device") == 0) {
       verify_cross = true;
+    } else if (std::strcmp(arg, "--write") == 0) {
+      write_phase = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--n=N] [--queries=Q] "
                    "[--seed=S] [--device=file|uring] [--path=FILE] "
                    "[--budgets=a,b,...] [--repeats=R] [--direct] "
-                   "[--out=PATH] [--smoke] [--verify-cross-device]\n",
+                   "[--out=PATH] [--smoke] [--verify-cross-device] "
+                   "[--write]\n",
                    arg, argv[0]);
       return 2;
     }
@@ -315,6 +584,11 @@ int main(int argc, char** argv) {
     num_queries = 64;
     budgets = {0.125, 0.5};
     repeats = 2;
+  }
+  if (write_phase) {
+    if (!out_set) out_path = "BENCH_writepath.json";
+    return RunWritePhase(device_kind, path, direct_io, n, seed, budgets,
+                         repeats, out_path);
   }
 
   auto data = workload::MakeSize(n, 0.001, seed);

@@ -24,6 +24,7 @@
 #include "core/pseudo_prtree.h"
 #include "io/stream.h"
 #include "io/work_env.h"
+#include "io/write_stager.h"
 #include "rtree/builder.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
@@ -54,12 +55,16 @@ std::vector<LevelEntry<D>> BuildPrStage(WorkEnv env,
   BlockDevice* dev = env.device;
   std::vector<LevelEntry<D>> finished;
   std::vector<std::byte> buf(dev->block_size());
+  // Chunk emission arrives on this thread in allocation order; the stager
+  // coalesces the node writes into device batches and is drained before
+  // either return below (nothing reads these pages during the stage).
+  WriteStager stager(dev);
   auto write_chunk = [&](const Record<D>* recs, size_t n) {
     NodeView<D> node(buf.data(), dev->block_size());
     node.Format(static_cast<uint16_t>(level));
     for (size_t i = 0; i < n; ++i) node.Append(recs[i].rect, recs[i].id);
     PageId page = dev->Allocate();
-    AbortIfError(dev->Write(page, buf.data()));
+    stager.Stage(page, buf.data());
     finished.push_back(LevelEntry<D>{node.ComputeMbr(), page});
   };
 
@@ -76,6 +81,7 @@ std::vector<LevelEntry<D>> BuildPrStage(WorkEnv env,
           write_chunk(input->data() + chunk.offset, chunk.count);
         },
         /*start_depth=*/0, env.pool);
+    stager.Drain();
     return finished;
   }
 
@@ -93,6 +99,7 @@ std::vector<LevelEntry<D>> BuildPrStage(WorkEnv env,
                     [&](const std::vector<Record<D>>& chunk) {
                       write_chunk(chunk.data(), chunk.size());
                     });
+  stager.Drain();
   return finished;
 }
 
@@ -132,6 +139,7 @@ Status BulkLoadPrTree(WorkEnv env, Stream<Record<D>>* input, RTree<D>* tree,
     } else {
       std::vector<std::byte> buf(env.device->block_size());
       std::vector<LevelEntry<D>> finished;
+      WriteStager stager(env.device);  // leaf emission, allocation order
       GridBuildOptions gopts;
       gopts.capacity = cap;
       gopts.priority_size = std::max<size_t>(
@@ -146,10 +154,11 @@ Status BulkLoadPrTree(WorkEnv env, Stream<Record<D>>* input, RTree<D>* tree,
                             node.Append(r.rect, r.id);
                           }
                           PageId page = env.device->Allocate();
-                          AbortIfError(env.device->Write(page, buf.data()));
+                          stager.Stage(page, buf.data());
                           finished.push_back(
                               LevelEntry<D>{node.ComputeMbr(), page});
                         });
+      stager.Drain();
       input->Clear();
       level_entries = std::move(finished);
     }

@@ -30,6 +30,7 @@
 
 #include "core/corner_order.h"
 #include "geom/rect.h"
+#include "io/write_stager.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -267,13 +268,17 @@ void BuildPseudoPRTreeIndex(std::vector<Record<D>>* records,
   std::vector<Frame> stack;
 
   std::vector<std::byte> buf(dev->block_size());
+  // Node emission happens on this thread in allocation order; the stager
+  // batches the writes and drains before the root is installed (nothing
+  // reads the pages mid-build).
+  WriteStager stager(dev);
   auto write_leaf = [&](const Record<D>* recs, size_t n) {
     NodeView<D> node(buf.data(), dev->block_size());
     node.Format(0);
     for (size_t i = 0; i < n; ++i) node.Append(recs[i].rect, recs[i].id);
     PageId page = dev->Allocate();
     Rect<D> mbr = node.ComputeMbr();
-    AbortIfError(dev->Write(page, buf.data()));
+    stager.Stage(page, buf.data());
     return LevelEntryLocal{mbr, page, 0};
   };
   auto close_frame = [&](Frame& f) {
@@ -291,7 +296,7 @@ void BuildPseudoPRTreeIndex(std::vector<Record<D>>* records,
       mbr.ExtendToCover(k.mbr);
     }
     PageId page = dev->Allocate();
-    AbortIfError(dev->Write(page, buf.data()));
+    stager.Stage(page, buf.data());
     return LevelEntryLocal{mbr, page, level};
   };
 
@@ -314,6 +319,7 @@ void BuildPseudoPRTreeIndex(std::vector<Record<D>>* records,
   });
   PRTREE_CHECK(stack.size() == 1);
   LevelEntryLocal root = close_frame(stack.front());
+  stager.Drain();
   tree->SetRoot(root.page, root.level, records->size());
 }
 

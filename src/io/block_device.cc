@@ -37,6 +37,28 @@ Status BlockDevice::ReadBatch(BlockReadRequest* reqs, size_t n,
   return first;
 }
 
+Status BlockDevice::DoWriteBatch(BlockWriteRequest* reqs, size_t n) {
+  // Reference implementation: one DoWrite per request, in order — the
+  // mirror of the ReadBatch loop above, with the same contract: per-request
+  // status, per-success accounting, every request attempted.
+  Status first;
+  for (size_t i = 0; i < n; ++i) {
+    BlockWriteRequest& req = reqs[i];
+    if (HasWriteFault(req.page)) {
+      req.status = Status::IoError("injected write fault on page " +
+                                   std::to_string(req.page));
+    } else {
+      req.status = DoWrite(req.page, req.buf);
+    }
+    if (req.status.ok()) {
+      CountWrite();
+    } else if (first.ok()) {
+      first = req.status;
+    }
+  }
+  return first;
+}
+
 MemoryBlockDevice::MemoryBlockDevice(size_t block_size)
     : BlockDevice(block_size) {}
 

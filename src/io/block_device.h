@@ -17,15 +17,16 @@
 //    explicit Sync() durability barrier.  Indexes survive the process and
 //    may exceed RAM.
 //  * UringBlockDevice (io/uring_block_device.h): the file backend with an
-//    io_uring engine under ReadBatch(), so a batch of block reads is one
-//    syscall with every read in flight at once.  Falls back to the
-//    pread/pwrite path transparently when the kernel lacks io_uring.
+//    io_uring engine under ReadBatch() and WriteBatch(), so a batch of
+//    block transfers is one syscall with every request in flight at once.
+//    Falls back to the pread/pwrite path transparently when the kernel
+//    lacks io_uring.
 //
-// Thread safety contract (all backends): Read()/Write()/ReadBatch() may be
-// called concurrently from any number of threads; Allocate()/Free()
-// serialise internally.  Races on a single page (read vs. free of the same
-// page, two writers to one page) remain usage errors, exactly as with a
-// real disk.
+// Thread safety contract (all backends): Read()/Write()/ReadBatch()/
+// WriteBatch() may be called concurrently from any number of threads;
+// Allocate()/Free() serialise internally.  Races on a single page (read
+// vs. free of the same page, two writers to one page) remain usage errors,
+// exactly as with a real disk.
 //
 // Determinism contract for the parallel bulk-load pipeline (all backends):
 // the page id returned by Allocate() depends only on the *sequence* of
@@ -77,6 +78,16 @@ struct BlockReadRequest {
   Status status;
 };
 
+/// \brief One request of a batched write.  `buf` must hold block_size()
+/// bytes and stay valid until WriteBatch returns; `status` receives the
+/// per-request outcome (a failed request never aborts the rest of the
+/// batch).
+struct BlockWriteRequest {
+  PageId page = kInvalidPageId;
+  const void* buf = nullptr;
+  Status status;
+};
+
 /// \brief Abstract array of fixed-size blocks with I/O accounting,
 /// allocation/free-list management and test-only fault injection.
 ///
@@ -118,12 +129,40 @@ class BlockDevice {
 
   /// Copies `buf` (block_size() bytes) into the block.  Counts one write.
   /// Concurrent writes to *distinct* pages are safe (the parallel node
-  /// serializers rely on this).
+  /// serializers rely on this).  Non-virtual like Read(): fault injection
+  /// and accounting live here, identically for every backend.
   Status Write(PageId page, const void* buf) {
+    if (HasWriteFault(page)) {
+      return Status::IoError("injected write fault on page " +
+                             std::to_string(page));
+    }
     Status st = DoWrite(page, buf);
     if (st.ok()) CountWrite();
     return st;
   }
+
+  /// \brief Writes `n` blocks in one call.  Semantically identical to `n`
+  /// Write() calls — same bytes on the device, same per-block accounting
+  /// (one write per *successful* request) — but a backend may service the
+  /// whole batch with every write in flight at once (UringBlockDevice
+  /// submits the batch as one io_uring syscall).  Each request's outcome
+  /// lands in its `status`; the return value is OK iff every request
+  /// succeeded (first failure otherwise).  One audit-only `write_batches`
+  /// tick per call, on every backend, so counters never depend on which
+  /// engine served the batch.  Thread-safe like Write() (distinct pages).
+  Status WriteBatch(BlockWriteRequest* reqs, size_t n) {
+    if (n == 0) return Status::OK();
+    CountWriteBatch();
+    return DoWriteBatch(reqs, n);
+  }
+
+  /// \brief The batch size a write stager should coalesce to before
+  /// draining into WriteBatch().  1 (the default) means batching buys
+  /// nothing here — stagers pass writes straight through.  The uring
+  /// backend reports its *requested* ring depth whether or not a ring came
+  /// up, so staging behaviour (and the write_batches counter) is a function
+  /// of configuration, never of kernel capabilities (docs/IO_MODEL.md).
+  virtual size_t PreferredWriteBatch() const { return 1; }
 
   /// \brief Reads `n` blocks in one call.  Semantically identical to `n`
   /// Read() calls — same bytes, same per-block accounting (one
@@ -169,9 +208,18 @@ class BlockDevice {
     read_faults_.insert(page);
     fault_count_.store(read_faults_.size(), std::memory_order_release);
   }
+  /// Same for Write()/WriteBatch(): every subsequent write of `page` fails
+  /// with an IoError, whichever engine would have carried it.  Test-only;
+  /// not safe concurrently with Write().
+  void InjectWriteFault(PageId page) {
+    write_faults_.insert(page);
+    write_fault_count_.store(write_faults_.size(), std::memory_order_release);
+  }
   void ClearFaults() {
     read_faults_.clear();
     fault_count_.store(0, std::memory_order_release);
+    write_faults_.clear();
+    write_fault_count_.store(0, std::memory_order_release);
   }
 
  protected:
@@ -180,12 +228,22 @@ class BlockDevice {
   virtual Status DoRead(PageId page, void* buf) const = 0;
   virtual Status DoWrite(PageId page, const void* buf) = 0;
 
+  /// Backend half of WriteBatch(): per-request status, one CountWrite per
+  /// success, every request attempted, write faults honoured.  The default
+  /// (block_device.cc) is the scalar reference loop; UringBlockDevice
+  /// overrides it with the ring engine.
+  virtual Status DoWriteBatch(BlockWriteRequest* reqs, size_t n);
+
   /// True iff a fault was injected for `page`.  The public wrappers call
   /// this before every read (cheap: one relaxed load when no fault is
   /// armed); backends with their own batched paths must do the same.
   bool HasReadFault(PageId page) const {
     return fault_count_.load(std::memory_order_acquire) != 0 &&
            read_faults_.count(page) != 0;
+  }
+  bool HasWriteFault(PageId page) const {
+    return write_fault_count_.load(std::memory_order_acquire) != 0 &&
+           write_faults_.count(page) != 0;
   }
 
   void CountRead() const { stats_.CountRead(); }
@@ -194,12 +252,15 @@ class BlockDevice {
   void CountBatchedRead(ReadKind kind) const {
     kind == ReadKind::kDemand ? CountRead() : CountPrefetchRead();
   }
+  void CountWriteBatch() { stats_.CountWriteBatch(); }
 
  private:
   const size_t block_size_;
   mutable AtomicIoStats stats_;
   std::unordered_set<PageId> read_faults_;  // test-only, see InjectReadFault
   std::atomic<size_t> fault_count_{0};
+  std::unordered_set<PageId> write_faults_;  // test-only, InjectWriteFault
+  std::atomic<size_t> write_fault_count_{0};
 };
 
 /// \brief The in-memory backend: blocks live in a two-level table of

@@ -12,6 +12,12 @@
 // stream (and the device's allocation history) is identical for any thread
 // count.  The tournament additionally tie-breaks equal records on the run
 // index, making the merge stable even for non-total comparators.
+//
+// Write batching is inherited from Stream<T>: run emission and the merge
+// output stage full blocks through a WriteStager and drain them as
+// WriteBatch() submissions at each Flush() — on the uring backend a sorted
+// run lands in ring-depth batches instead of one pwrite per block, with
+// identical bytes, counters and allocation order (io/write_stager.h).
 
 #ifndef PRTREE_IO_EXTERNAL_SORT_H_
 #define PRTREE_IO_EXTERNAL_SORT_H_

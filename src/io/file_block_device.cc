@@ -400,6 +400,21 @@ size_t FileBlockDevice::ScreenBatchLiveness(BlockReadRequest* reqs,
   return live;
 }
 
+size_t FileBlockDevice::ScreenBatchLiveness(BlockWriteRequest* reqs,
+                                            size_t n) const {
+  std::shared_lock lock(mu_);
+  size_t live = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (reqs[i].page >= num_pages_ || live_[reqs[i].page] == 0) {
+      reqs[i].status = Status::IoError("write of unallocated page " +
+                                       std::to_string(reqs[i].page));
+    } else {
+      ++live;
+    }
+  }
+  return live;
+}
+
 void FileBlockDevice::PrefetchHint(const PageId* pages, size_t n) const {
 #ifdef POSIX_FADV_WILLNEED
   if (direct_io_) return;  // no page cache to warm

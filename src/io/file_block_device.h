@@ -162,11 +162,12 @@ class FileBlockDevice : public BlockDevice {
   /// Scalar file I/O, shared with subclasses.
   int fd() const { return fd_; }
 
-  /// Per-request liveness screen for a batched read, one lock acquisition
-  /// for the whole batch: requests whose page is unallocated get an
-  /// IoError status; the survivors' statuses are left untouched.  Returns
-  /// the number of surviving requests.
+  /// Per-request liveness screen for a batched read or write, one lock
+  /// acquisition for the whole batch: requests whose page is unallocated
+  /// get an IoError status; the survivors' statuses are left untouched.
+  /// Returns the number of surviving requests.
   size_t ScreenBatchLiveness(BlockReadRequest* reqs, size_t n) const;
+  size_t ScreenBatchLiveness(BlockWriteRequest* reqs, size_t n) const;
 
   /// BlockDevice backend hooks (liveness check + pread/pwrite).
   Status DoRead(PageId page, void* buf) const override;

@@ -9,6 +9,9 @@ std::string IoStats::ToString() const {
   if (prefetch_reads != 0) {
     s += " prefetch_reads=" + std::to_string(prefetch_reads);
   }
+  if (write_batches != 0) {
+    s += " write_batches=" + std::to_string(write_batches);
+  }
   return s;
 }
 

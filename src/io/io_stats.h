@@ -23,24 +23,35 @@ namespace prtree {
 /// move real blocks but are charged separately so the demand counters keep
 /// their exact §3.3 meaning whether readahead is on or off
 /// (docs/IO_MODEL.md).
+///
+/// `write_batches` is a pure audit counter: the number of WriteBatch()
+/// submissions.  Every block a batch carries is already charged to `writes`
+/// (batched writes ARE demand writes — same bytes, same count, fewer
+/// syscalls), so the batch count is excluded from both Total() and
+/// TotalTransfers(); it exists so benches can verify that the write stager
+/// actually coalesced (docs/IO_MODEL.md#write-accounting).
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t prefetch_reads = 0;
+  uint64_t write_batches = 0;
 
   /// Demand transfers only (the paper's metric).
   uint64_t Total() const { return reads + writes; }
-  /// Every block the device moved, speculative reads included.
+  /// Every block the device moved, speculative reads included.  Batch
+  /// submissions are not transfers, so write_batches stays out of this too.
   uint64_t TotalTransfers() const { return reads + writes + prefetch_reads; }
 
   IoStats operator-(const IoStats& o) const {
     return IoStats{reads - o.reads, writes - o.writes,
-                   prefetch_reads - o.prefetch_reads};
+                   prefetch_reads - o.prefetch_reads,
+                   write_batches - o.write_batches};
   }
   IoStats& operator+=(const IoStats& o) {
     reads += o.reads;
     writes += o.writes;
     prefetch_reads += o.prefetch_reads;
+    write_batches += o.write_batches;
     return *this;
   }
 
@@ -62,12 +73,16 @@ class AtomicIoStats {
   void CountPrefetchRead() {
     prefetch_reads_.fetch_add(1, std::memory_order_relaxed);
   }
+  void CountWriteBatch() {
+    write_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Coherent point-in-time copy of the counters.
   IoStats Snapshot() const {
     return IoStats{reads_.load(std::memory_order_relaxed),
                    writes_.load(std::memory_order_relaxed),
-                   prefetch_reads_.load(std::memory_order_relaxed)};
+                   prefetch_reads_.load(std::memory_order_relaxed),
+                   write_batches_.load(std::memory_order_relaxed)};
   }
 
   /// Zeroes the counters.  Unlike the old `stats_ = IoStats{}` reset this
@@ -76,12 +91,14 @@ class AtomicIoStats {
     reads_.store(0, std::memory_order_relaxed);
     writes_.store(0, std::memory_order_relaxed);
     prefetch_reads_.store(0, std::memory_order_relaxed);
+    write_batches_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> prefetch_reads_{0};
+  std::atomic<uint64_t> write_batches_{0};
 };
 
 }  // namespace prtree

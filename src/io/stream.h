@@ -5,6 +5,14 @@
 // whole device blocks.  All bulk-loading algorithms consume and produce
 // streams, so their I/O cost is measured by the device counters rather than
 // modelled.
+//
+// Writes go through a WriteStager: full blocks are staged in allocation
+// order and drained as WriteBatch() submissions (one io_uring syscall for a
+// ring-depth train on the uring backend; a transparent passthrough
+// everywhere else).  Flush() — which every read path calls first — drains
+// the stager, so the write-then-read discipline callers already follow is
+// exactly the drain discipline staging needs, and the device file a stream
+// produces is byte-identical to the scalar-write days.
 
 #ifndef PRTREE_IO_STREAM_H_
 #define PRTREE_IO_STREAM_H_
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "io/block_device.h"
+#include "io/write_stager.h"
 #include "util/check.h"
 
 namespace prtree {
@@ -33,7 +42,8 @@ class Stream {
   explicit Stream(BlockDevice* device)
       : device_(device),
         per_block_(device->block_size() / sizeof(T)),
-        write_buf_(device->block_size()) {
+        write_buf_(device->block_size()),
+        stager_(device) {
     PRTREE_CHECK(per_block_ >= 1);
   }
 
@@ -49,6 +59,7 @@ class Stream {
         size_(o.size_),
         buffered_(o.buffered_),
         write_buf_(std::move(o.write_buf_)),
+        stager_(std::move(o.stager_)),
         sealed_(o.sealed_) {
     o.pages_.clear();
     o.size_ = 0;
@@ -65,6 +76,7 @@ class Stream {
       size_ = o.size_;
       buffered_ = o.buffered_;
       write_buf_ = std::move(o.write_buf_);
+      stager_ = std::move(o.stager_);
       sealed_ = o.sealed_;
       o.pages_.clear();
       o.size_ = 0;
@@ -106,14 +118,17 @@ class Stream {
     Append(values.data(), values.size());
   }
 
-  /// Flushes any partially filled tail block to the device.  Idempotent;
-  /// called automatically by readers.  Flushing a partial tail seals the
-  /// stream against further appends.
+  /// Flushes any partially filled tail block and drains every staged block
+  /// to the device.  Idempotent; called automatically by readers — which is
+  /// what makes staging invisible: no record is readable before Flush(),
+  /// and after Flush() every one of the stream's blocks is on the device.
+  /// Flushing a partial tail seals the stream against further appends.
   void Flush() {
     if (buffered_ > 0) {
       if (buffered_ < per_block_) sealed_ = true;
       FlushBuffer();
     }
+    stager_.DrainAndRelease();
   }
 
   /// Reads records [first, first + count) into `out` (resized).  Costs one
@@ -211,13 +226,17 @@ class Stream {
  private:
   void FlushBuffer() {
     PageId page = device_->Allocate();
-    AbortIfError(device_->Write(page, write_buf_.data()));
+    stager_.Stage(page, write_buf_.data());
     pages_.push_back(page);
     buffered_ = 0;
     std::memset(write_buf_.data(), 0, write_buf_.size());
   }
 
   void FreeBlocks() {
+    // Drain first: a staged write landing after Free() would overwrite the
+    // free-list stamp — and the write counters must not depend on whether a
+    // block happened to still be staged when the stream died.
+    stager_.Drain();
     for (PageId p : pages_) device_->Free(p);
   }
 
@@ -227,6 +246,7 @@ class Stream {
   size_t size_ = 0;
   size_t buffered_ = 0;
   std::vector<std::byte> write_buf_;
+  WriteStager stager_;
   bool sealed_ = false;
 };
 

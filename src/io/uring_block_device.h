@@ -1,34 +1,47 @@
 // The io_uring-backed block device: FileBlockDevice's on-disk format and
-// scalar I/O path, with batched reads served through an io_uring.
+// scalar I/O path, with batched reads AND writes served through an io_uring.
 //
 // Why a subclass and not a new backend: the async engine changes *how*
 // blocks move, not what is stored.  UringBlockDevice inherits the whole
 // file layout (superblock, threaded free list, user-meta region), the
 // durability rules and the allocation determinism contract, and a device
-// file written by either class opens under the other.  The only override
-// is ReadBatch(): a batch of N block reads becomes one io_uring_enter with
-// all N requests in flight at once, instead of N sequential preads.
-// Scalar Read()/Write() deliberately stay on pread/pwrite — a single
-// block transfer is one syscall either way, and the pread path runs
-// lock-free from any number of threads while a ring must be serialised.
+// file written by either class opens under the other.  The overrides are
+// ReadBatch() and the WriteBatch() backend hook: a batch of N block
+// transfers becomes one io_uring_enter with all N requests in flight at
+// once, instead of N sequential preads/pwrites.  Scalar Read()/Write()
+// deliberately stay on pread/pwrite — a single block transfer is one
+// syscall either way, and the pread path runs lock-free from any number of
+// threads while a ring must be serialised.
+//
+// Registered resources.  Open() performs the one-time
+// IORING_REGISTER_FILES / IORING_REGISTER_BUFFERS handshake: the ring owns
+// a page-aligned arena of depth() block-sized slots, batches bounce through
+// it, and both read and write submissions use the FIXED opcodes — no
+// per-op buffer pinning or fd lookup on the hot path.  The arena doubles
+// as the O_DIRECT bounce (its slots satisfy the sector-alignment rules).
+// Registration is best-effort: a kernel without io_uring_register, or an
+// exhausted RLIMIT_MEMLOCK, leaves the ring on the plain opcodes —
+// registered() reports what was negotiated.
 //
 // Fallback.  io_uring availability is a runtime property (kernel < 5.1,
 // seccomp, the io_uring_disabled sysctl).  Open() probes: if a ring cannot
-// be created — or a probe read through it fails — the device keeps
-// ring_active() == false and every ReadBatch() transparently takes the
-// inherited pread loop.  Semantics, accounting and on-disk bytes are
-// identical in both modes; only wall-clock differs.  Setting the
-// PRTREE_NO_URING environment variable (or UringDeviceOptions::
-// force_fallback) forces the fallback, which is how CI exercises it on
-// io_uring-capable kernels.
+// be created — or a probe read through it (and through the registered
+// tables, when they came up) fails — the device keeps ring_active() ==
+// false and every batch transparently takes the inherited scalar loop.
+// Semantics, accounting and on-disk bytes are identical in both modes;
+// only wall-clock differs.  Setting the PRTREE_NO_URING environment
+// variable (or UringDeviceOptions::force_fallback) forces the fallback,
+// which is how CI exercises it on io_uring-capable kernels.
 //
-// Accounting matches the BlockDevice contract: one read (or
-// prefetch_read, per ReadKind) per successful request, whichever engine
-// served it.
+// Accounting matches the BlockDevice contract: one read (or prefetch_read,
+// per ReadKind) / one write per successful request, whichever engine
+// served it, plus one audit-only write_batches tick per WriteBatch() call
+// (charged in the base wrapper, so it is engine-independent too).
 
 #ifndef PRTREE_IO_URING_BLOCK_DEVICE_H_
 #define PRTREE_IO_URING_BLOCK_DEVICE_H_
 
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,21 +56,33 @@ struct UringDeviceOptions {
   FileDeviceOptions file;
 
   /// Submission-queue depth to request (the kernel rounds up to a power of
-  /// two).  Batches larger than the granted depth are chunked.
+  /// two).  Batches larger than the granted depth are chunked.  Also the
+  /// device's PreferredWriteBatch() — reported whether or not a ring came
+  /// up, so write staging (and the write_batches counter) depends only on
+  /// configuration, never on kernel capabilities.
   unsigned ring_entries = 64;
 
-  /// Never create a ring: behave exactly like FileBlockDevice.  For tests
-  /// that must exercise the fallback on io_uring-capable kernels.
+  /// Never create a ring: behave exactly like FileBlockDevice (except for
+  /// PreferredWriteBatch(), see above).  For tests that must exercise the
+  /// fallback on io_uring-capable kernels.
   bool force_fallback = false;
+
+  /// Keep the ring but skip buffer/file registration, so the plain
+  /// (non-FIXED) opcodes are exercised on registration-capable kernels.
+  /// Test-only.
+  bool force_unregistered = false;
 };
 
-/// \brief FileBlockDevice with an io_uring engine under ReadBatch().  See
-/// the file comment for the fallback and accounting story.
+/// \brief FileBlockDevice with an io_uring engine under ReadBatch() and
+/// WriteBatch().  See the file comment for the registration, fallback and
+/// accounting story.
 class UringBlockDevice final : public FileBlockDevice {
  public:
   /// Opens (or creates) the device file exactly as FileBlockDevice::Open
-  /// does, then tries to stand up an io_uring over its fd.  Ring failure is
-  /// never an Open failure — the device falls back to pread.
+  /// does, then tries to stand up an io_uring over its fd and register the
+  /// fd and a transfer arena with it.  Ring or registration failure is
+  /// never an Open failure — the device degrades to the plain opcodes or
+  /// all the way to pread/pwrite.
   static Status Open(const std::string& path, const UringDeviceOptions& opts,
                      std::unique_ptr<UringBlockDevice>* out);
 
@@ -68,22 +93,44 @@ class UringBlockDevice final : public FileBlockDevice {
   Status ReadBatch(BlockReadRequest* reqs, size_t n,
                    ReadKind kind = ReadKind::kDemand) const override;
 
-  /// True iff batched reads go through an io_uring (false: pread fallback).
+  /// The requested ring depth, whether or not a ring is active (see
+  /// UringDeviceOptions::ring_entries).
+  size_t PreferredWriteBatch() const override { return write_batch_hint_; }
+
+  /// True iff batches go through an io_uring (false: scalar fallback).
   bool ring_active() const { return ring_ != nullptr; }
 
+  /// True iff the ring's fd and arena are registered (FIXED opcodes).
+  bool registered() const { return registered_; }
+
+ protected:
+  /// Same engine and same never-fails-harder contract as ReadBatch, for
+  /// writes: requests bounce through the registered arena and retry through
+  /// the scalar pwrite path individually on any per-op failure.
+  Status DoWriteBatch(BlockWriteRequest* reqs, size_t n) override;
+
  private:
+  struct ArenaDeleter {
+    void operator()(std::byte* p) const { std::free(p); }
+  };
+  using Arena = std::unique_ptr<std::byte, ArenaDeleter>;
+
   UringBlockDevice(size_t block_size, std::string path, int fd)
       : FileBlockDevice(block_size, std::move(path), fd,
                         /*direct_io=*/false) {}
 
-  mutable std::mutex ring_mu_;     // one batch in the ring at a time
-  std::unique_ptr<UringQueue> ring_;  // null => transparent pread fallback
+  mutable std::mutex ring_mu_;        // one batch in the ring at a time
+  std::unique_ptr<UringQueue> ring_;  // null => transparent scalar fallback
+  Arena arena_;           // depth() block slots, registered when possible
+  size_t arena_slots_ = 0;
+  bool registered_ = false;
+  size_t write_batch_hint_ = 1;  // the *requested* ring depth
 };
 
 /// \brief Opens `path` as a file-backed device of `kind` — "file" (plain
-/// pread/pwrite) or "uring" (io_uring-batched ReadBatch) — type-erased to
-/// the BlockDevice interface.  The kinds share one on-disk format, so
-/// either opens files the other wrote.  Any other kind is
+/// pread/pwrite) or "uring" (io_uring-batched ReadBatch/WriteBatch) —
+/// type-erased to the BlockDevice interface.  The kinds share one on-disk
+/// format, so either opens files the other wrote.  Any other kind is
 /// InvalidArgument.  This is the one switch the drivers (harness,
 /// quickstart, prtree_tool) share; new backend knobs thread through here
 /// once.

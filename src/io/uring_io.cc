@@ -11,6 +11,7 @@
 #include <linux/io_uring.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
+#include <sys/uio.h>
 #include <unistd.h>
 #endif
 
@@ -38,6 +39,14 @@ int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
   return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
                                     min_complete, flags, nullptr, 0));
 }
+
+#if defined(__NR_io_uring_register)
+int SysUringRegister(int ring_fd, unsigned opcode, const void* arg,
+                     unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
+}
+#endif
 
 std::string EnterError(int err) {
   return std::string("io_uring_enter failed: ") + std::strerror(err);
@@ -140,19 +149,64 @@ UringQueue::~UringQueue() {
   if (ring_fd_ >= 0) ::close(ring_fd_);
 }
 
-Status UringQueue::SubmitAndWaitReads(UringReadOp* ops, size_t n) {
+Status UringQueue::SubmitAndWaitReads(UringIoOp* ops, size_t n) {
+  return SubmitAndWait(ops, n, /*write=*/false);
+}
+
+Status UringQueue::SubmitAndWaitWrites(UringIoOp* ops, size_t n) {
+  return SubmitAndWait(ops, n, /*write=*/true);
+}
+
+Status UringQueue::SubmitAndWait(UringIoOp* ops, size_t n, bool write) {
   for (size_t i = 0; i < n; ++i) ops[i].result = INT32_MIN;
   // The ring is empty between chunks (each chunk waits for all of its
   // completions), so chunking is just a loop.
   for (size_t done = 0; done < n;) {
     size_t m = std::min<size_t>(n - done, sq_entries_);
-    PRTREE_RETURN_NOT_OK(RunChunk(ops + done, m));
+    PRTREE_RETURN_NOT_OK(RunChunk(ops + done, m, write));
     done += m;
   }
   return Status::OK();
 }
 
-Status UringQueue::RunChunk(UringReadOp* ops, size_t m) {
+Status UringQueue::RegisterFile() {
+#if defined(__NR_io_uring_register)
+  if (file_registered_) return Status::OK();
+  int32_t fd = file_fd_;
+  if (SysUringRegister(ring_fd_, IORING_REGISTER_FILES, &fd, 1) < 0) {
+    return Status::IoError(std::string("io_uring_register(FILES) failed: ") +
+                           std::strerror(errno));
+  }
+  file_registered_ = true;
+  return Status::OK();
+#else
+  return Status::IoError("io_uring_register is unavailable in these headers");
+#endif
+}
+
+Status UringQueue::RegisterBuffer(void* base, size_t len) {
+#if defined(__NR_io_uring_register)
+  if (reg_base_ != nullptr) return Status::OK();
+  iovec vec;
+  vec.iov_base = base;
+  vec.iov_len = len;
+  // Pins `len` bytes against RLIMIT_MEMLOCK; ENOMEM/EFAULT here just means
+  // the caller keeps the unregistered opcodes.
+  if (SysUringRegister(ring_fd_, IORING_REGISTER_BUFFERS, &vec, 1) < 0) {
+    return Status::IoError(std::string("io_uring_register(BUFFERS) failed: ") +
+                           std::strerror(errno));
+  }
+  reg_base_ = base;
+  reg_len_ = len;
+  return Status::OK();
+#else
+  (void)base;
+  (void)len;
+  return Status::IoError("io_uring_register is unavailable in these headers");
+#endif
+}
+
+Status UringQueue::RunChunk(UringIoOp* ops, size_t m, bool write) {
   auto* sqes = static_cast<io_uring_sqe*>(sqes_);
   const uint32_t sq_mask = *sq_mask_;
   const uint32_t cq_mask = *cq_mask_;
@@ -162,11 +216,27 @@ Status UringQueue::RunChunk(UringReadOp* ops, size_t m) {
     uint32_t idx = (tail + static_cast<uint32_t>(i)) & sq_mask;
     io_uring_sqe& sqe = sqes[idx];
     std::memset(&sqe, 0, sizeof(sqe));
-    // IORING_OP_READ (5.6+) needs no iovec.  On the few kernels that have
-    // io_uring but not this opcode the CQE comes back -EINVAL, which the
-    // caller handles as a per-op failure (and falls back to pread).
-    sqe.opcode = IORING_OP_READ;
-    sqe.fd = file_fd_;
+    // Opcode ladder: an op whose buffer lies inside the registered region
+    // takes the FIXED opcode (5.1+, no per-op pin); anything else takes
+    // IORING_OP_READ/WRITE (5.6+, no iovec).  On kernels lacking the chosen
+    // opcode the CQE comes back -EINVAL, which the caller handles as a
+    // per-op failure (and falls back to pread/pwrite).
+    char* buf = static_cast<char*>(ops[i].buf);
+    const bool fixed =
+        reg_base_ != nullptr && buf >= static_cast<char*>(reg_base_) &&
+        buf + ops[i].len <= static_cast<char*>(reg_base_) + reg_len_;
+    if (write) {
+      sqe.opcode = fixed ? IORING_OP_WRITE_FIXED : IORING_OP_WRITE;
+    } else {
+      sqe.opcode = fixed ? IORING_OP_READ_FIXED : IORING_OP_READ;
+    }
+    if (fixed) sqe.buf_index = 0;  // the one registered iovec
+    if (file_registered_) {
+      sqe.fd = 0;  // index into the fixed-file table
+      sqe.flags |= IOSQE_FIXED_FILE;
+    } else {
+      sqe.fd = file_fd_;
+    }
     sqe.addr = reinterpret_cast<uint64_t>(ops[i].buf);
     sqe.len = ops[i].len;
     sqe.off = ops[i].offset;
@@ -229,11 +299,28 @@ Status UringQueue::Create(int /*fd*/, unsigned /*entries*/,
 
 UringQueue::~UringQueue() = default;
 
-Status UringQueue::SubmitAndWaitReads(UringReadOp* /*ops*/, size_t /*n*/) {
+Status UringQueue::SubmitAndWaitReads(UringIoOp* /*ops*/, size_t /*n*/) {
   return Status::IoError("io_uring is not supported on this platform");
 }
 
-Status UringQueue::RunChunk(UringReadOp* /*ops*/, size_t /*m*/) {
+Status UringQueue::SubmitAndWaitWrites(UringIoOp* /*ops*/, size_t /*n*/) {
+  return Status::IoError("io_uring is not supported on this platform");
+}
+
+Status UringQueue::SubmitAndWait(UringIoOp* /*ops*/, size_t /*n*/,
+                                 bool /*write*/) {
+  return Status::IoError("io_uring is not supported on this platform");
+}
+
+Status UringQueue::RegisterFile() {
+  return Status::IoError("io_uring is not supported on this platform");
+}
+
+Status UringQueue::RegisterBuffer(void* /*base*/, size_t /*len*/) {
+  return Status::IoError("io_uring is not supported on this platform");
+}
+
+Status UringQueue::RunChunk(UringIoOp* /*ops*/, size_t /*m*/, bool /*write*/) {
   return Status::IoError("io_uring is not supported on this platform");
 }
 

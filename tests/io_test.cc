@@ -368,5 +368,135 @@ TEST(StreamTest, EmptyStream) {
   EXPECT_TRUE(reader.Done());
 }
 
+TEST(BlockDeviceTest, WriteBatchMatchesScalarWritesAndAccounting) {
+  // The default (scalar-loop) WriteBatch on the memory backend: per-request
+  // status, one demand write per success, one audit batch tick per call.
+  MemoryBlockDevice dev(256);
+  const size_t kPages = 5;
+  std::vector<PageId> pages;
+  for (size_t i = 0; i < kPages; ++i) pages.push_back(dev.Allocate());
+  dev.ResetStats();
+
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(256));
+  std::vector<BlockWriteRequest> reqs(kPages);
+  for (size_t i = 0; i < kPages; ++i) {
+    std::memset(bufs[i].data(), 0x40 + static_cast<int>(i), 256);
+    reqs[i].page = pages[i];
+    reqs[i].buf = bufs[i].data();
+  }
+  ASSERT_TRUE(dev.WriteBatch(reqs.data(), reqs.size()).ok());
+
+  IoStats stats = dev.stats();
+  EXPECT_EQ(stats.writes, kPages);
+  EXPECT_EQ(stats.write_batches, 1u);
+  // write_batches is audit-only: excluded from both totals.
+  EXPECT_EQ(stats.Total(), kPages);
+  EXPECT_EQ(stats.TotalTransfers(), kPages);
+
+  std::vector<std::byte> r(256);
+  for (size_t i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(dev.Read(pages[i], r.data()).ok());
+    EXPECT_EQ(std::memcmp(r.data(), bufs[i].data(), 256), 0) << "page " << i;
+  }
+}
+
+TEST(BlockDeviceTest, WriteBatchPartialFailuresMatchScalarWrites) {
+  // An unallocated page and an injected write fault inside a batch fail
+  // per-request — the rest of the batch lands, and the counters charge only
+  // the successes, exactly like the same sequence of Write() calls.
+  MemoryBlockDevice dev(256);
+  PageId a = dev.Allocate();
+  PageId b = dev.Allocate();
+  PageId c = dev.Allocate();
+  dev.InjectWriteFault(b);
+  dev.ResetStats();
+
+  std::vector<std::byte> buf(256);
+  std::memset(buf.data(), 0x7E, 256);
+  BlockWriteRequest reqs[4];
+  reqs[0] = {a, buf.data(), Status::OK()};
+  reqs[1] = {b, buf.data(), Status::OK()};         // injected fault
+  reqs[2] = {PageId{999}, buf.data(), Status::OK()};  // unallocated
+  reqs[3] = {c, buf.data(), Status::OK()};
+  EXPECT_FALSE(dev.WriteBatch(reqs, 4).ok());
+  EXPECT_TRUE(reqs[0].status.ok());
+  EXPECT_FALSE(reqs[1].status.ok());
+  EXPECT_FALSE(reqs[2].status.ok());
+  EXPECT_TRUE(reqs[3].status.ok());
+  EXPECT_EQ(dev.stats().writes, 2u);
+  EXPECT_EQ(dev.stats().write_batches, 1u);
+
+  // The scalar path honours the same injected fault...
+  EXPECT_FALSE(dev.Write(b, buf.data()).ok());
+  // ...and ClearFaults lifts it.
+  dev.ClearFaults();
+  EXPECT_TRUE(dev.Write(b, buf.data()).ok());
+}
+
+TEST(WriteStagerTest, PassthroughWhenBatchingBuysNothing) {
+  // PreferredWriteBatch() == 1 (every non-uring backend): Stage == Write,
+  // no buffering, no batch submissions.
+  MemoryBlockDevice dev(256);
+  PageId p = dev.Allocate();
+  std::vector<std::byte> buf(256);
+  std::memset(buf.data(), 0x11, 256);
+  WriteStager stager(&dev);
+  EXPECT_EQ(stager.capacity(), 1u);
+  stager.Stage(p, buf.data());
+  EXPECT_EQ(stager.staged(), 0u);
+  EXPECT_EQ(dev.stats().writes, 1u);
+  EXPECT_EQ(dev.stats().write_batches, 0u);
+}
+
+TEST(WriteStagerTest, DrainsFullBatchesInStagingOrder) {
+  MemoryBlockDevice dev(256);
+  const size_t kPages = 10;
+  std::vector<PageId> pages;
+  for (size_t i = 0; i < kPages; ++i) pages.push_back(dev.Allocate());
+  dev.ResetStats();
+
+  std::vector<std::byte> buf(256);
+  {
+    WriteStager stager(&dev, /*capacity=*/4);
+    for (size_t i = 0; i < kPages; ++i) {
+      std::memset(buf.data(), 0x30 + static_cast<int>(i), 256);
+      stager.Stage(pages[i], buf.data());
+    }
+    // 10 pages at capacity 4: two full drains so far, 2 still staged.
+    EXPECT_EQ(stager.staged(), 2u);
+    EXPECT_EQ(dev.stats().writes, 8u);
+    EXPECT_EQ(dev.stats().write_batches, 2u);
+  }  // destructor drains the tail
+
+  EXPECT_EQ(dev.stats().writes, kPages);
+  EXPECT_EQ(dev.stats().write_batches, 3u);
+  std::vector<std::byte> r(256);
+  for (size_t i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(dev.Read(pages[i], r.data()).ok());
+    EXPECT_EQ(r[0], static_cast<std::byte>(0x30 + static_cast<int>(i)))
+        << "page " << i;
+  }
+}
+
+TEST(WriteStagerTest, MoveTransfersStagedPages) {
+  MemoryBlockDevice dev(256);
+  PageId p = dev.Allocate();
+  PageId q = dev.Allocate();
+  std::vector<std::byte> buf(256);
+  std::memset(buf.data(), 0x55, 256);
+  WriteStager a(&dev, /*capacity=*/8);
+  a.Stage(p, buf.data());
+  std::memset(buf.data(), 0x66, 256);
+  a.Stage(q, buf.data());
+  WriteStager b = std::move(a);
+  EXPECT_EQ(b.staged(), 2u);
+  b.Drain();
+  EXPECT_EQ(dev.stats().writes, 2u);
+  std::vector<std::byte> r(256);
+  ASSERT_TRUE(dev.Read(q, r.data()).ok());
+  EXPECT_EQ(r[0], std::byte{0x66});
+}
+
 }  // namespace
 }  // namespace prtree

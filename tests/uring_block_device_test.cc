@@ -319,5 +319,184 @@ TEST_F(UringBlockDeviceTest, TreeQueriesWithReadaheadMatchScalar) {
   }
 }
 
+TEST_F(UringBlockDeviceTest, WriteBatchMatchesScalarWritesInEitherMode) {
+  auto dev = Create();
+  const int kPages = 16;
+  std::vector<PageId> pages;
+  for (int i = 0; i < kPages; ++i) pages.push_back(dev->Allocate());
+  dev->ResetStats();
+
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(512));
+  std::vector<BlockWriteRequest> reqs(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    std::memset(bufs[i].data(), 0x50 + i, 512);
+    reqs[i].page = pages[i];
+    reqs[i].buf = bufs[i].data();
+  }
+  ASSERT_TRUE(dev->WriteBatch(reqs.data(), reqs.size()).ok());
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(reqs[i].status.ok()) << "page " << pages[i];
+  }
+  // One demand write per batched request, one audit tick per submission —
+  // the same accounting whether the ring engine or the scalar loop served
+  // the batch.
+  EXPECT_EQ(dev->stats().writes, static_cast<uint64_t>(kPages));
+  EXPECT_EQ(dev->stats().write_batches, 1u);
+
+  std::vector<std::byte> r(512);
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(dev->Read(pages[i], r.data()).ok());
+    EXPECT_EQ(std::memcmp(r.data(), bufs[i].data(), 512), 0)
+        << "page " << pages[i];
+  }
+}
+
+TEST_F(UringBlockDeviceTest, WriteBatchPartialFailuresNeverHarderThanScalar) {
+  // The same mixed sequence — live pages, an unallocated page, an injected
+  // write fault — through WriteBatch on one device and scalar Writes on a
+  // twin: identical per-request outcomes, identical final bytes, identical
+  // demand counters.
+  const std::string twin_path = path_ + ".twin";
+  std::remove(twin_path.c_str());
+  auto run = [&](const std::string& p, bool batch) {
+    UringDeviceOptions opts;
+    opts.file.block_size = 512;
+    opts.file.truncate = true;
+    std::unique_ptr<UringBlockDevice> dev;
+    AbortIfError(UringBlockDevice::Open(p, opts, &dev));
+    PageId a = dev->Allocate();
+    PageId b = dev->Allocate();
+    PageId c = dev->Allocate();
+    dev->InjectWriteFault(b);
+    dev->ResetStats();
+
+    std::vector<std::vector<std::byte>> bufs(4, std::vector<std::byte>(512));
+    for (int i = 0; i < 4; ++i) std::memset(bufs[i].data(), 0x60 + i, 512);
+    PageId targets[4] = {a, b, PageId{9999}, c};
+    std::vector<bool> ok(4);
+    if (batch) {
+      std::vector<BlockWriteRequest> reqs(4);
+      for (int i = 0; i < 4; ++i) {
+        reqs[i].page = targets[i];
+        reqs[i].buf = bufs[i].data();
+      }
+      EXPECT_FALSE(dev->WriteBatch(reqs.data(), reqs.size()).ok());
+      for (int i = 0; i < 4; ++i) ok[i] = reqs[i].status.ok();
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        ok[i] = dev->Write(targets[i], bufs[i].data()).ok();
+      }
+    }
+    uint64_t writes = dev->stats().writes;
+    std::vector<std::byte> first_bytes;
+    std::vector<std::byte> r(512);
+    for (PageId p2 : {a, c}) {
+      EXPECT_TRUE(dev->Read(p2, r.data()).ok());
+      first_bytes.push_back(r[0]);
+    }
+    return std::make_tuple(ok, writes, first_bytes);
+  };
+  auto batched = run(path_, true);
+  auto scalar = run(twin_path, false);
+  EXPECT_EQ(std::get<0>(batched),
+            (std::vector<bool>{true, false, false, true}));
+  EXPECT_EQ(batched, scalar);
+  std::remove(twin_path.c_str());
+}
+
+TEST_F(UringBlockDeviceTest, WriteBatchLargerThanRingDepthIsChunked) {
+  auto dev = Create(512, /*force_fallback=*/false, /*ring_entries=*/2);
+  const int kPages = 33;  // forces many chunks through a depth-2 ring
+  std::vector<PageId> pages;
+  for (int i = 0; i < kPages; ++i) pages.push_back(dev->Allocate());
+  dev->ResetStats();
+
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(512));
+  std::vector<BlockWriteRequest> reqs(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    std::memset(bufs[i].data(), 0x20 + i, 512);
+    reqs[i].page = pages[i];
+    reqs[i].buf = bufs[i].data();
+  }
+  ASSERT_TRUE(dev->WriteBatch(reqs.data(), reqs.size()).ok());
+  EXPECT_EQ(dev->stats().writes, static_cast<uint64_t>(kPages));
+  std::vector<std::byte> r(512);
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(dev->Read(pages[i], r.data()).ok());
+    EXPECT_EQ(r[0], static_cast<std::byte>(0x20 + i)) << i;
+  }
+}
+
+TEST_F(UringBlockDeviceTest, UnregisteredRingMatchesRegisteredBytes) {
+  // force_unregistered keeps the ring but skips buffer/file registration:
+  // plain READ/WRITE opcodes instead of the _FIXED variants, same bytes,
+  // same counters.
+  auto run = [&](bool force_unregistered) {
+    std::string p = path_ + (force_unregistered ? ".plain" : ".fixed");
+    std::remove(p.c_str());
+    UringDeviceOptions opts;
+    opts.file.block_size = 512;
+    opts.file.truncate = true;
+    opts.force_unregistered = force_unregistered;
+    std::unique_ptr<UringBlockDevice> dev;
+    AbortIfError(UringBlockDevice::Open(p, opts, &dev));
+    if (force_unregistered) {
+      EXPECT_FALSE(dev->registered());
+    }
+
+    std::vector<PageId> pages;
+    for (int i = 0; i < 8; ++i) pages.push_back(dev->Allocate());
+    dev->ResetStats();
+    std::vector<std::vector<std::byte>> bufs(8, std::vector<std::byte>(512));
+    std::vector<BlockWriteRequest> wreqs(8);
+    for (int i = 0; i < 8; ++i) {
+      std::memset(bufs[i].data(), 0x70 + i, 512);
+      wreqs[i].page = pages[i];
+      wreqs[i].buf = bufs[i].data();
+    }
+    EXPECT_TRUE(dev->WriteBatch(wreqs.data(), wreqs.size()).ok());
+    std::vector<BlockReadRequest> rreqs(8);
+    for (int i = 0; i < 8; ++i) {
+      rreqs[i].page = pages[i];
+      rreqs[i].buf = bufs[i].data();
+    }
+    EXPECT_TRUE(dev->ReadBatch(rreqs.data(), rreqs.size()).ok());
+    IoStats io = dev->stats();
+    std::vector<std::byte> firsts;
+    for (auto& b : bufs) firsts.push_back(b[0]);
+    std::remove(p.c_str());
+    return std::make_tuple(io.reads, io.writes, io.write_batches, firsts);
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST_F(UringBlockDeviceTest, DirectIoWriteBatchStillWritesCorrectBytes) {
+  UringDeviceOptions opts;
+  opts.file.block_size = 512;
+  opts.file.truncate = true;
+  opts.file.direct_io = true;  // best effort; either outcome must work
+  std::unique_ptr<UringBlockDevice> dev;
+  AbortIfError(UringBlockDevice::Open(path_, opts, &dev));
+  const int kPages = 6;
+  std::vector<PageId> pages;
+  for (int i = 0; i < kPages; ++i) pages.push_back(dev->Allocate());
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(512));
+  std::vector<BlockWriteRequest> reqs(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    std::memset(bufs[i].data(), 0x20 + i, 512);
+    reqs[i].page = pages[i];
+    reqs[i].buf = bufs[i].data();
+  }
+  ASSERT_TRUE(dev->WriteBatch(reqs.data(), reqs.size()).ok());
+  std::vector<std::byte> r(512);
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(dev->Read(pages[i], r.data()).ok());
+    EXPECT_EQ(r[0], static_cast<std::byte>(0x20 + i)) << i;
+  }
+}
+
 }  // namespace
 }  // namespace prtree

@@ -55,6 +55,8 @@ EXACT_LEAF_KEYS = {
     "ops",
     "final_size",
     "knn_results",
+    "writes",
+    "write_batches",
 }
 
 # Reported, never gated.
@@ -160,6 +162,15 @@ def self_test():
     drifted = json.loads(json.dumps(good))
     drifted["points"][1]["leaves"] = 21
     fails, _ = compare(baseline, drifted, 0.25)
+    assert len(fails) == 1 and "exact" in fails[0], fails
+
+    # Block-write counters (PR 8 write path) gate exactly, like reads.
+    wbase = {"legs": [{"writes": 500, "write_batches": 8, "seconds": 1.0}]}
+    wcur = {"legs": [{"writes": 500, "write_batches": 8, "seconds": 0.2}]}
+    fails, _ = compare(wbase, wcur, 0.25)
+    assert fails == [], fails
+    wcur["legs"][0]["write_batches"] = 9
+    fails, _ = compare(wbase, wcur, 0.25)
     assert len(fails) == 1 and "exact" in fails[0], fails
 
     slow = json.loads(json.dumps(good))
