@@ -21,19 +21,30 @@
 // every threaded leg must converge to the same final size, and a snapshot
 // pinned before the storm must stay frozen through it.
 //
+// Leg 3 (--journal=on): the crash-consistent journaled update path vs
+// the plain in-place updater over one deterministic op stream — demand
+// counters must match exactly (journaling is meta-traffic only), and the
+// journal's counters plus the off/on wall-clock ratio land in the JSON.
+//
 //   $ ./build/bench/throughput_concurrent [--n=N] [--queries=Q]
-//       [--mix=40,10,40,10] [--threads-max=16]
+//       [--mix=40,10,40,10] [--threads-max=16] [--journal=on|off]
 //       [--out=BENCH_mixed.json] [--smoke]
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/dynamic_prtree.h"
+#include "io/file_block_device.h"
+#include "rtree/journaled_tree.h"
+#include "rtree/update.h"
+#include "rtree/validate.h"
 #include "harness/experiment.h"
 #include "io/block_device.h"
 #include "io/buffer_pool.h"
@@ -340,8 +351,127 @@ MixedLeg RunMixedLeg(const std::vector<Record2>& base,
   return leg;
 }
 
+// ---- Journaled update leg (--journal=on) ---------------------------------
+// One deterministic single-thread insert/delete stream run twice: through
+// the plain in-place updater on a bare file device, and through the
+// crash-consistent journaled stack (rtree/journaled_tree.h).  The §3.3
+// demand counters must be byte-identical — journal traffic is meta-class
+// only (docs/DURABILITY.md) — and that identity feeds "deterministic".
+// The wall-clock ratio journal-off/journal-on is the one timing number
+// exported (a same-machine ratio, gated with a floored baseline).
+
+struct JournalLeg {
+  size_t ops = 0;
+  uint64_t final_size = 0;
+  uint64_t demand_reads = 0;
+  uint64_t writes = 0;
+  uint64_t meta_reads = 0;
+  uint64_t meta_writes = 0;
+  uint64_t committed = 0;
+  size_t journal_pages = 0;
+  double on_seconds = 0.0;
+  double off_seconds = 0.0;
+  bool identical = false;  // demand counters matched across the two legs
+};
+
+JournalLeg RunJournalLeg(size_t n_ops, uint64_t seed,
+                         const std::string& scratch) {
+  struct JOp {
+    bool insert;
+    Record2 rec;
+  };
+  std::vector<JOp> jops;
+  jops.reserve(n_ops);
+  {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> pos(0.0, 1.0);
+    std::uniform_real_distribution<double> ext(0.0001, 0.002);
+    uint32_t next = 1, oldest = 1;
+    for (size_t i = 0; i < n_ops; ++i) {
+      if (next - oldest > 8 && rng() % 4 == 0) {
+        jops.push_back({false, Record2{MakeRect(0, 0, 0, 0), oldest}});
+        ++oldest;
+      } else {
+        Rect2 r;
+        r.lo = {pos(rng), pos(rng)};
+        r.hi = {r.lo[0] + ext(rng), r.lo[1] + ext(rng)};
+        jops.push_back({true, Record2{r, next}});
+        ++next;
+      }
+    }
+    // Deletes need the record's true rect; patch them in from the insert.
+    std::vector<Rect2> rects(next);
+    for (auto& op : jops) {
+      if (op.insert) rects[op.rec.id] = op.rec.rect;
+    }
+    for (auto& op : jops) {
+      if (!op.insert) op.rec.rect = rects[op.rec.id];
+    }
+  }
+
+  JournalLeg leg;
+  leg.ops = n_ops;
+
+  // Journal OFF: plain in-place updates on a bare file device.
+  const std::string off_path = scratch + ".off";
+  IoStats off_stats;
+  {
+    FileDeviceOptions dopts;
+    dopts.block_size = 4096;
+    dopts.truncate = true;
+    std::unique_ptr<FileBlockDevice> dev;
+    AbortIfError(FileBlockDevice::Open(off_path, dopts, &dev));
+    RTree<2> tree(dev.get());
+    RTreeUpdater<2> updater(&tree);
+    dev->ResetStats();
+    Timer timer;
+    for (const auto& op : jops) {
+      if (op.insert) {
+        updater.Insert(op.rec);
+      } else {
+        updater.Delete(op.rec);
+      }
+    }
+    leg.off_seconds = timer.Seconds();
+    off_stats = dev->stats();
+  }
+  std::remove(off_path.c_str());
+
+  // Journal ON: every op staged, committed and durable.
+  {
+    JournaledTree<2>::Options topts;
+    topts.device.block_size = 4096;
+    std::unique_ptr<JournaledTree<2>> t;
+    AbortIfError(JournaledTree<2>::Create(scratch, topts, &t));
+    t->device()->ResetStats();
+    Timer timer;
+    for (const auto& op : jops) {
+      if (op.insert) {
+        AbortIfError(t->Insert(op.rec));
+      } else {
+        AbortIfError(t->Delete(op.rec));
+      }
+    }
+    leg.on_seconds = timer.Seconds();
+    const IoStats on_stats = t->device()->stats();
+    AbortIfError(ValidateTree(t->tree()));
+    leg.final_size = t->tree().size();
+    leg.demand_reads = on_stats.reads;
+    leg.writes = on_stats.writes;
+    leg.meta_reads = on_stats.meta_reads;
+    leg.meta_writes = on_stats.meta_writes;
+    leg.committed = t->journal().committed_ops();
+    leg.journal_pages = t->journal().journal_pages();
+    leg.identical = on_stats.reads == off_stats.reads &&
+                    on_stats.writes == off_stats.writes &&
+                    off_stats.meta_writes == 0;
+  }
+  std::remove(scratch.c_str());
+  return leg;
+}
+
 int RunMixed(const BenchOptions& opts, const Mix& mix, size_t n,
-             size_t ops_per_leg, int threads_max,
+             size_t ops_per_leg, int threads_max, bool journal,
              const std::string& out_path) {
   std::printf("\n=== Mixed workload over the dynamic forest "
               "(n=%zu, %zu ops/leg, mix %d%%ins/%d%%del/%d%%win/%d%%knn) "
@@ -427,6 +557,39 @@ int RunMixed(const BenchOptions& opts, const Mix& mix, size_t n,
     json += buf;
   }
   json += "  ],\n";
+  if (journal) {
+    JournalLeg jl = RunJournalLeg(ops_per_leg, opts.seed,
+                                  out_path + ".journal.idx");
+    if (!jl.identical) deterministic = false;
+    const double speedup =
+        jl.on_seconds > 0 ? jl.off_seconds / jl.on_seconds : 0.0;
+    std::printf("journal: %zu ops committed=%llu final_size=%llu "
+                "demand r/w=%llu/%llu meta r/w=%llu/%llu "
+                "off/on=%.2fx%s\n",
+                jl.ops, static_cast<unsigned long long>(jl.committed),
+                static_cast<unsigned long long>(jl.final_size),
+                static_cast<unsigned long long>(jl.demand_reads),
+                static_cast<unsigned long long>(jl.writes),
+                static_cast<unsigned long long>(jl.meta_reads),
+                static_cast<unsigned long long>(jl.meta_writes), speedup,
+                jl.identical ? "" : "  [DEMAND COUNTERS DIVERGED]");
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"journal\": {\"ops\": %zu, \"final_size\": %llu, "
+        "\"demand_reads\": %llu, \"writes\": %llu, \"meta_reads\": %llu, "
+        "\"meta_writes\": %llu, \"committed\": %llu, "
+        "\"journal_pages\": %zu, \"journal_speedup\": %.4f, "
+        "\"seconds\": %.6f, \"deterministic\": %s},\n",
+        jl.ops, static_cast<unsigned long long>(jl.final_size),
+        static_cast<unsigned long long>(jl.demand_reads),
+        static_cast<unsigned long long>(jl.writes),
+        static_cast<unsigned long long>(jl.meta_reads),
+        static_cast<unsigned long long>(jl.meta_writes),
+        static_cast<unsigned long long>(jl.committed), jl.journal_pages,
+        speedup, jl.on_seconds, jl.identical ? "true" : "false");
+    json += buf;
+  }
   json += std::string("  \"deterministic\": ") +
           (deterministic ? "true" : "false") + "\n}\n";
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
@@ -452,6 +615,7 @@ int main(int argc, char** argv) {
   // Pull out this bench's own flags; everything else goes to the shared
   // parser (--n, --queries, --seed, --scale, ...).
   bool smoke = false;
+  bool journal = false;
   bool mix_given = false;
   Mix mix;
   int threads_max = 16;
@@ -480,6 +644,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(arg, "--journal=on") == 0) {
+      journal = true;
+    } else if (std::strcmp(arg, "--journal=off") == 0) {
+      journal = false;
     } else {
       rest.push_back(arg);
     }
@@ -501,7 +669,7 @@ int main(int argc, char** argv) {
   if (rc != 0) return rc;
   if (mix_given) {
     rc = RunMixed(opts, mix, smoke ? n : n / 10, ops_per_leg, threads_max,
-                  out_path);
+                  journal, out_path);
   }
   return rc;
 }

@@ -1,7 +1,9 @@
 #include "io/block_device.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
+#include <vector>
 
 #include "util/check.h"
 
@@ -37,26 +39,43 @@ Status BlockDevice::ReadBatch(BlockReadRequest* reqs, size_t n,
   return first;
 }
 
-Status BlockDevice::DoWriteBatch(BlockWriteRequest* reqs, size_t n) {
+Status BlockDevice::DoWriteBatch(BlockWriteRequest* reqs, size_t n,
+                                 WriteKind kind) {
   // Reference implementation: one DoWrite per request, in order — the
   // mirror of the ReadBatch loop above, with the same contract: per-request
-  // status, per-success accounting, every request attempted.
+  // status, per-success accounting, every request attempted.  The ordered
+  // loop is also the deterministic carrier for injected crash points and
+  // torn writes (engines with concurrent in-flight writes fall back here
+  // while an injection is armed).
   Status first;
   for (size_t i = 0; i < n; ++i) {
     BlockWriteRequest& req = reqs[i];
+    size_t prefix = 0;
     if (HasWriteFault(req.page)) {
       req.status = Status::IoError("injected write fault on page " +
                                    std::to_string(req.page));
+    } else if (TakeTornWrite(req.page, &prefix)) {
+      req.status = TornDoWrite(req.page, req.buf, prefix);
     } else {
       req.status = DoWrite(req.page, req.buf);
     }
     if (req.status.ok()) {
-      CountWrite();
+      CountBatchedWrite(kind);
     } else if (first.ok()) {
       first = req.status;
     }
   }
   return first;
+}
+
+Status BlockDevice::TornDoWrite(PageId page, const void* buf, size_t prefix) {
+  // Merge the valid prefix of the new bytes over the block's previous
+  // contents, then land the merged block through the normal backend write
+  // (which still consults the crash switch, power cut dominating).
+  std::vector<std::byte> merged(block_size_);
+  PRTREE_RETURN_NOT_OK(DoRead(page, merged.data()));
+  std::memcpy(merged.data(), buf, std::min(prefix, block_size_));
+  return DoWrite(page, merged.data());
 }
 
 MemoryBlockDevice::MemoryBlockDevice(size_t block_size)
@@ -161,8 +180,26 @@ Status MemoryBlockDevice::DoWrite(PageId page, const void* buf) {
     return Status::IoError("write of unallocated page " +
                            std::to_string(page));
   }
+  size_t tear = 0;
+  switch (ConsumeWriteBudget(&tear)) {
+    case WriteOutcome::kDrop:
+      return Status::OK();  // power cut: acknowledged, never landed
+    case WriteOutcome::kTear:
+      std::memcpy(slot->data.get(), buf, std::min(tear, block_size()));
+      return Status::OK();
+    case WriteOutcome::kLand:
+      break;
+  }
   std::memcpy(slot->data.get(), buf, block_size());
   return Status::OK();
+}
+
+size_t MemoryBlockDevice::num_pages() const {
+  return num_pages_.load(std::memory_order_acquire);
+}
+
+bool MemoryBlockDevice::IsAllocated(PageId page) const {
+  return LiveSlot(page) != nullptr;
 }
 
 }  // namespace prtree

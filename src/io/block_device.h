@@ -44,6 +44,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -68,6 +69,15 @@ inline constexpr size_t kDefaultBlockSize = 4096;
 /// stats().prefetch_reads so readahead changes *when* blocks move, never
 /// what the demand counters report (docs/IO_MODEL.md).
 enum class ReadKind { kDemand, kPrefetch };
+
+/// \brief How a write is charged to the I/O counters.
+///
+/// kData is an algorithmic block transfer (stats().writes, part of the
+/// paper's metric).  kMeta is metadata-class traffic — the update journal's
+/// frames (io/journal.h) — charged to stats().meta_writes so the demand
+/// counters stay byte-identical whether or not journaling is on
+/// (docs/DURABILITY.md).
+enum class WriteKind { kData, kMeta };
 
 /// \brief One request of a batched read.  `buf` must hold block_size()
 /// bytes; `status` receives the per-request outcome (a failed request never
@@ -132,12 +142,26 @@ class BlockDevice {
   /// serializers rely on this).  Non-virtual like Read(): fault injection
   /// and accounting live here, identically for every backend.
   Status Write(PageId page, const void* buf) {
-    if (HasWriteFault(page)) {
-      return Status::IoError("injected write fault on page " +
+    return WriteImpl(page, buf, WriteKind::kData);
+  }
+
+  /// Same bytes and fault behaviour as Write(), charged to
+  /// stats().meta_writes instead of the demand counter.  The update
+  /// journal's channel (see WriteKind).
+  Status WriteMeta(PageId page, const void* buf) {
+    return WriteImpl(page, buf, WriteKind::kMeta);
+  }
+
+  /// Same bytes and fault behaviour as Read(), charged to
+  /// stats().meta_reads instead of the demand counter (journal recovery
+  /// scans and reachability sweeps read through this).
+  Status ReadMeta(PageId page, void* buf) const {
+    if (HasReadFault(page)) {
+      return Status::IoError("injected read fault on page " +
                              std::to_string(page));
     }
-    Status st = DoWrite(page, buf);
-    if (st.ok()) CountWrite();
+    Status st = DoRead(page, buf);
+    if (st.ok()) CountMetaRead();
     return st;
   }
 
@@ -148,12 +172,14 @@ class BlockDevice {
   /// submits the batch as one io_uring syscall).  Each request's outcome
   /// lands in its `status`; the return value is OK iff every request
   /// succeeded (first failure otherwise).  One audit-only `write_batches`
-  /// tick per call, on every backend, so counters never depend on which
-  /// engine served the batch.  Thread-safe like Write() (distinct pages).
-  Status WriteBatch(BlockWriteRequest* reqs, size_t n) {
+  /// tick per kData call, on every backend, so counters never depend on
+  /// which engine served the batch; kMeta batches charge meta_writes only.
+  /// Thread-safe like Write() (distinct pages).
+  Status WriteBatch(BlockWriteRequest* reqs, size_t n,
+                    WriteKind kind = WriteKind::kData) {
     if (n == 0) return Status::OK();
-    CountWriteBatch();
-    return DoWriteBatch(reqs, n);
+    if (kind == WriteKind::kData) CountWriteBatch();
+    return DoWriteBatch(reqs, n, kind);
   }
 
   /// \brief The batch size a write stager should coalesce to before
@@ -190,6 +216,14 @@ class BlockDevice {
   /// High-water mark of live blocks — the paper's "disk blocks occupied".
   virtual size_t peak_allocated() const = 0;
 
+  /// Number of page ids ever created (allocated or later freed): valid ids
+  /// are [0, num_pages()).  With IsAllocated() this lets recovery and tests
+  /// enumerate the live-page set (the journal's leak sweep).
+  virtual size_t num_pages() const = 0;
+
+  /// True iff `page` is currently allocated (live).
+  virtual bool IsAllocated(PageId page) const = 0;
+
   /// Durability barrier: flushes device metadata and data to stable
   /// storage.  A no-op on the in-memory backend; an fsync (plus superblock
   /// write-out) on the file backend.
@@ -215,11 +249,68 @@ class BlockDevice {
     write_faults_.insert(page);
     write_fault_count_.store(write_faults_.size(), std::memory_order_release);
   }
+
+  /// One-shot torn write: the next Write()/WriteMeta()/WriteBatch() of
+  /// `page` lands only its first `valid_prefix_bytes` bytes — the rest of
+  /// the block keeps its previous contents — and reports success, modelling
+  /// a sector-granular partial write at power cut.  Later writes of the
+  /// page behave normally.  Test-only; arm before the writes start.
+  void InjectTornWrite(PageId page, size_t valid_prefix_bytes) {
+    std::lock_guard<std::mutex> lock(torn_mu_);
+    torn_writes_[page] = valid_prefix_bytes;
+    torn_count_.store(torn_writes_.size(), std::memory_order_release);
+  }
+
+  /// Power-cut simulator: the next `n` block writes land normally — client
+  /// writes AND backend-internal metadata writes (superblock, free-list
+  /// stamps, page zeroing) alike — and every write after them is silently
+  /// dropped while still reporting success, exactly as a dead machine
+  /// acknowledges nothing further.  When `tear_prefix_bytes` is given the
+  /// n-th (final surviving) write lands torn: only that prefix reaches the
+  /// device.  Writes are consumed in device order (batch engines fall back
+  /// to the ordered scalar loop while the switch is armed, so the crash
+  /// point is deterministic).  Test-only; arm before the writes start.
+  static constexpr size_t kNoTear = ~size_t{0};
+  void InjectCrashAfterWrites(uint64_t n, size_t tear_prefix_bytes = kNoTear) {
+    crash_budget_.store(static_cast<int64_t>(n), std::memory_order_relaxed);
+    crash_tear_prefix_ = tear_prefix_bytes;
+    dropped_writes_.store(0, std::memory_order_relaxed);
+    crash_armed_.store(true, std::memory_order_release);
+  }
+
+  /// True iff an armed crash switch has exhausted its budget (every
+  /// subsequent write is being dropped).
+  bool crash_triggered() const {
+    return crash_armed_.load(std::memory_order_acquire) &&
+           crash_budget_.load(std::memory_order_relaxed) <= 0;
+  }
+
+  /// Writes silently dropped by the armed crash switch so far.
+  uint64_t dropped_writes() const {
+    return dropped_writes_.load(std::memory_order_relaxed);
+  }
+
+  /// Total block-write attempts (landed, torn or dropped; client and
+  /// backend-internal alike), counted whether or not a crash switch is
+  /// armed.  Deterministic for a deterministic call sequence — the crash
+  /// matrix in tests/crash_recovery_test.cc measures a dry run's attempt
+  /// count and then crashes at every index below it.
+  uint64_t write_attempts() const {
+    return write_attempts_.load(std::memory_order_relaxed);
+  }
+
   void ClearFaults() {
     read_faults_.clear();
     fault_count_.store(0, std::memory_order_release);
     write_faults_.clear();
     write_fault_count_.store(0, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(torn_mu_);
+      torn_writes_.clear();
+      torn_count_.store(0, std::memory_order_release);
+    }
+    crash_armed_.store(false, std::memory_order_release);
+    dropped_writes_.store(0, std::memory_order_relaxed);
   }
 
  protected:
@@ -228,11 +319,12 @@ class BlockDevice {
   virtual Status DoRead(PageId page, void* buf) const = 0;
   virtual Status DoWrite(PageId page, const void* buf) = 0;
 
-  /// Backend half of WriteBatch(): per-request status, one CountWrite per
-  /// success, every request attempted, write faults honoured.  The default
-  /// (block_device.cc) is the scalar reference loop; UringBlockDevice
-  /// overrides it with the ring engine.
-  virtual Status DoWriteBatch(BlockWriteRequest* reqs, size_t n);
+  /// Backend half of WriteBatch(): per-request status, one counted write
+  /// per success (demand or meta per `kind`), every request attempted,
+  /// write faults honoured.  The default (block_device.cc) is the scalar
+  /// reference loop; UringBlockDevice overrides it with the ring engine.
+  virtual Status DoWriteBatch(BlockWriteRequest* reqs, size_t n,
+                              WriteKind kind);
 
   /// True iff a fault was injected for `page`.  The public wrappers call
   /// this before every read (cheap: one relaxed load when no fault is
@@ -246,21 +338,105 @@ class BlockDevice {
            write_faults_.count(page) != 0;
   }
 
+  /// True iff any write-path injection (fault, torn write, crash switch)
+  /// is armed.  Batch engines whose in-flight ordering is not deterministic
+  /// (io_uring) check this and fall back to the ordered scalar loop, so an
+  /// injected crash point always lands between the same two writes.
+  bool WriteInjectionArmed() const {
+    return write_fault_count_.load(std::memory_order_acquire) != 0 ||
+           torn_count_.load(std::memory_order_acquire) != 0 ||
+           crash_armed_.load(std::memory_order_acquire);
+  }
+
+  /// What the armed power-cut switch decides for one write, consumed at
+  /// the lowest layer where bytes land (MemoryBlockDevice::DoWrite,
+  /// FileBlockDevice::PWriteBlock).  Also ticks write_attempts().
+  enum class WriteOutcome { kLand, kTear, kDrop };
+  WriteOutcome ConsumeWriteBudget(size_t* tear_prefix) {
+    write_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (!crash_armed_.load(std::memory_order_acquire)) {
+      return WriteOutcome::kLand;
+    }
+    int64_t prev = crash_budget_.fetch_sub(1, std::memory_order_acq_rel);
+    if (prev > 1) return WriteOutcome::kLand;
+    if (prev == 1) {
+      if (crash_tear_prefix_ != kNoTear) {
+        *tear_prefix = crash_tear_prefix_;
+        return WriteOutcome::kTear;
+      }
+      return WriteOutcome::kLand;
+    }
+    dropped_writes_.fetch_add(1, std::memory_order_relaxed);
+    return WriteOutcome::kDrop;
+  }
+
+  /// Attempt tick for engines that bypass ConsumeWriteBudget (the io_uring
+  /// ring path, which only runs with no injection armed).
+  void CountWriteAttempt() {
+    write_attempts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consumes a one-shot torn-write arming for `page`, if any.
+  bool TakeTornWrite(PageId page, size_t* prefix) {
+    if (torn_count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> lock(torn_mu_);
+    auto it = torn_writes_.find(page);
+    if (it == torn_writes_.end()) return false;
+    *prefix = it->second;
+    torn_writes_.erase(it);
+    torn_count_.store(torn_writes_.size(), std::memory_order_release);
+    return true;
+  }
+
   void CountRead() const { stats_.CountRead(); }
   void CountWrite() { stats_.CountWrite(); }
   void CountPrefetchRead() const { stats_.CountPrefetchRead(); }
+  void CountMetaRead() const { stats_.CountMetaRead(); }
+  void CountMetaWrite() { stats_.CountMetaWrite(); }
   void CountBatchedRead(ReadKind kind) const {
     kind == ReadKind::kDemand ? CountRead() : CountPrefetchRead();
+  }
+  void CountBatchedWrite(WriteKind kind) {
+    kind == WriteKind::kData ? CountWrite() : CountMetaWrite();
   }
   void CountWriteBatch() { stats_.CountWriteBatch(); }
 
  private:
+  /// Shared body of Write()/WriteMeta(): fault check, one-shot torn merge,
+  /// backend write, per-kind accounting.
+  Status WriteImpl(PageId page, const void* buf, WriteKind kind) {
+    if (HasWriteFault(page)) {
+      return Status::IoError("injected write fault on page " +
+                             std::to_string(page));
+    }
+    Status st;
+    size_t prefix = 0;
+    if (TakeTornWrite(page, &prefix)) {
+      st = TornDoWrite(page, buf, prefix);
+    } else {
+      st = DoWrite(page, buf);
+    }
+    if (st.ok()) CountBatchedWrite(kind);
+    return st;
+  }
+
+  /// Read-merge-write realisation of a one-shot torn write (block_device.cc).
+  Status TornDoWrite(PageId page, const void* buf, size_t prefix);
+
   const size_t block_size_;
   mutable AtomicIoStats stats_;
   std::unordered_set<PageId> read_faults_;  // test-only, see InjectReadFault
   std::atomic<size_t> fault_count_{0};
   std::unordered_set<PageId> write_faults_;  // test-only, InjectWriteFault
   std::atomic<size_t> write_fault_count_{0};
+  std::mutex torn_mu_;  // guards torn_writes_ (armed-path only)
+  std::unordered_map<PageId, size_t> torn_writes_;  // page -> valid prefix
+  std::atomic<size_t> torn_count_{0};
+  std::atomic<bool> crash_armed_{false};
+  std::atomic<int64_t> crash_budget_{0};  // writes left before the power cut
+  size_t crash_tear_prefix_ = kNoTear;    // set before arming, then stable
+  std::atomic<uint64_t> dropped_writes_{0};
+  std::atomic<uint64_t> write_attempts_{0};
 };
 
 /// \brief The in-memory backend: blocks live in a two-level table of
@@ -276,6 +452,8 @@ class MemoryBlockDevice final : public BlockDevice {
   void Free(PageId page) override;
   size_t num_allocated() const override;
   size_t peak_allocated() const override;
+  size_t num_pages() const override;
+  bool IsAllocated(PageId page) const override;
 
  protected:
   Status DoRead(PageId page, void* buf) const override;

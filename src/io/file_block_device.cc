@@ -490,7 +490,54 @@ Status FileBlockDevice::PReadBlock(uint64_t off, void* buf) const {
   return Status::OK();
 }
 
+size_t FileBlockDevice::num_pages() const {
+  std::shared_lock lock(mu_);
+  return num_pages_;
+}
+
+bool FileBlockDevice::IsAllocated(PageId page) const {
+  std::shared_lock lock(mu_);
+  return page < num_pages_ && live_[page] != 0;
+}
+
+size_t FileBlockDevice::AdoptOrphanPages() {
+  std::unique_lock lock(mu_);
+  if (file_pages_ <= num_pages_) return 0;
+  // Everything between the superblock's page count and the file extent was
+  // created post-Sync (Allocate grows the file before the page is handed
+  // out, and extent growth over-provisions, so some of these ids were
+  // never handed out at all).  All of it is adopted as allocated: pages a
+  // committed op wrote become readable, and the rest — garbage or never
+  // used — is exactly what the recovery sweep exists to free.
+  const size_t adopted = file_pages_ - num_pages_;
+  live_.resize(file_pages_, 1);
+  num_pages_ = file_pages_;
+  allocated_ += adopted;
+  peak_allocated_ = std::max(peak_allocated_, allocated_);
+  meta_dirty_ = true;
+  return adopted;
+}
+
 Status FileBlockDevice::PWriteBlock(uint64_t off, const void* buf) {
+  // Every byte this backend puts on disk funnels through here — client
+  // writes, superblock write-out, free-list stamps, zeroing of reused
+  // pages — so this is where the injected power cut consumes its budget:
+  // a dropped write is acknowledged but never issued, a torn one lands
+  // only its prefix over the previous on-disk bytes.
+  size_t tear = 0;
+  std::vector<std::byte> merged;
+  switch (ConsumeWriteBudget(&tear)) {
+    case WriteOutcome::kDrop:
+      return Status::OK();
+    case WriteOutcome::kTear:
+      merged.resize(block_size());
+      PRTREE_RETURN_NOT_OK(PReadBlock(off, merged.data()));
+      std::memcpy(merged.data(), buf, std::min(tear, block_size()));
+      buf = merged.data();
+      break;
+    case WriteOutcome::kLand:
+      break;
+  }
   const void* source = buf;
   if (direct_io_) {
     std::byte* bounce = ThreadAlignedScratch(block_size());

@@ -116,6 +116,8 @@ class FileBlockDevice : public BlockDevice {
   void Free(PageId page) override;
   size_t num_allocated() const override;
   size_t peak_allocated() const override;
+  size_t num_pages() const override;
+  bool IsAllocated(PageId page) const override;
 
   /// Forwards the readahead hint to the kernel page cache
   /// (posix_fadvise WILLNEED).  A no-op under O_DIRECT, where there is no
@@ -139,6 +141,15 @@ class FileBlockDevice : public BlockDevice {
   /// Copies the stored metadata into `buf` (capacity `cap`) and returns
   /// its full length; 0 when none was ever set.
   size_t GetUserMeta(void* buf, size_t cap) const;
+
+  /// Crash-recovery aid (rtree/journaled_tree.h).  Pages created after the
+  /// last superblock write extended the file but are unknown to a reopened
+  /// device — and a journaled update's committed shadow pages can be among
+  /// them.  This adopts every page the file's extent covers into the page
+  /// space as allocated, so recovery can read them; the recovery
+  /// reachability sweep then frees the ones nothing references.  Returns
+  /// how many pages were adopted.
+  size_t AdoptOrphanPages();
 
  protected:
   FileBlockDevice(size_t block_size, std::string path, int fd,

@@ -12,6 +12,12 @@ std::string IoStats::ToString() const {
   if (write_batches != 0) {
     s += " write_batches=" + std::to_string(write_batches);
   }
+  if (meta_reads != 0) {
+    s += " meta_reads=" + std::to_string(meta_reads);
+  }
+  if (meta_writes != 0) {
+    s += " meta_writes=" + std::to_string(meta_writes);
+  }
   return s;
 }
 

@@ -30,28 +30,46 @@ namespace prtree {
 /// syscalls), so the batch count is excluded from both Total() and
 /// TotalTransfers(); it exists so benches can verify that the write stager
 /// actually coalesced (docs/IO_MODEL.md#write-accounting).
+///
+/// `meta_reads`/`meta_writes` count metadata-class transfers issued through
+/// ReadMeta()/WriteMeta() — the update journal's frames and recovery scans.
+/// Like the backends' own superblock/free-list traffic they are never part
+/// of the §3.3 demand metric (Total() excludes them), but unlike that
+/// traffic they are client-visible, so they get their own counters and the
+/// demand numbers stay byte-identical with journaling on or off
+/// (docs/DURABILITY.md).
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t prefetch_reads = 0;
   uint64_t write_batches = 0;
+  uint64_t meta_reads = 0;
+  uint64_t meta_writes = 0;
 
   /// Demand transfers only (the paper's metric).
   uint64_t Total() const { return reads + writes; }
-  /// Every block the device moved, speculative reads included.  Batch
-  /// submissions are not transfers, so write_batches stays out of this too.
-  uint64_t TotalTransfers() const { return reads + writes + prefetch_reads; }
+  /// Every block the device moved, speculative reads and metadata-class
+  /// transfers included.  Batch submissions are not transfers, so
+  /// write_batches stays out of this too.
+  uint64_t TotalTransfers() const {
+    return reads + writes + prefetch_reads + meta_reads + meta_writes;
+  }
 
   IoStats operator-(const IoStats& o) const {
-    return IoStats{reads - o.reads, writes - o.writes,
+    return IoStats{reads - o.reads,
+                   writes - o.writes,
                    prefetch_reads - o.prefetch_reads,
-                   write_batches - o.write_batches};
+                   write_batches - o.write_batches,
+                   meta_reads - o.meta_reads,
+                   meta_writes - o.meta_writes};
   }
   IoStats& operator+=(const IoStats& o) {
     reads += o.reads;
     writes += o.writes;
     prefetch_reads += o.prefetch_reads;
     write_batches += o.write_batches;
+    meta_reads += o.meta_reads;
+    meta_writes += o.meta_writes;
     return *this;
   }
 
@@ -76,13 +94,19 @@ class AtomicIoStats {
   void CountWriteBatch() {
     write_batches_.fetch_add(1, std::memory_order_relaxed);
   }
+  void CountMetaRead() { meta_reads_.fetch_add(1, std::memory_order_relaxed); }
+  void CountMetaWrite() {
+    meta_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Coherent point-in-time copy of the counters.
   IoStats Snapshot() const {
     return IoStats{reads_.load(std::memory_order_relaxed),
                    writes_.load(std::memory_order_relaxed),
                    prefetch_reads_.load(std::memory_order_relaxed),
-                   write_batches_.load(std::memory_order_relaxed)};
+                   write_batches_.load(std::memory_order_relaxed),
+                   meta_reads_.load(std::memory_order_relaxed),
+                   meta_writes_.load(std::memory_order_relaxed)};
   }
 
   /// Zeroes the counters.  Unlike the old `stats_ = IoStats{}` reset this
@@ -92,6 +116,8 @@ class AtomicIoStats {
     writes_.store(0, std::memory_order_relaxed);
     prefetch_reads_.store(0, std::memory_order_relaxed);
     write_batches_.store(0, std::memory_order_relaxed);
+    meta_reads_.store(0, std::memory_order_relaxed);
+    meta_writes_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -99,6 +125,8 @@ class AtomicIoStats {
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> prefetch_reads_{0};
   std::atomic<uint64_t> write_batches_{0};
+  std::atomic<uint64_t> meta_reads_{0};
+  std::atomic<uint64_t> meta_writes_{0};
 };
 
 }  // namespace prtree

@@ -158,11 +158,15 @@ Status UringBlockDevice::ReadBatch(BlockReadRequest* reqs, size_t n,
   return Status::OK();
 }
 
-Status UringBlockDevice::DoWriteBatch(BlockWriteRequest* reqs, size_t n) {
+Status UringBlockDevice::DoWriteBatch(BlockWriteRequest* reqs, size_t n,
+                                      WriteKind kind) {
   // Mirror of ReadBatch: same screens, same chunking, same per-request
   // scalar retry — a batch never fails harder than the same Write() calls.
-  if (ring_ == nullptr || arena_ == nullptr || n < 2) {
-    return BlockDevice::DoWriteBatch(reqs, n);
+  // Armed write injections (torn writes, the crash switch) need the
+  // ordered scalar loop to be deterministic.
+  if (ring_ == nullptr || arena_ == nullptr || n < 2 ||
+      WriteInjectionArmed()) {
+    return BlockDevice::DoWriteBatch(reqs, n, kind);
   }
 
   const size_t block = block_size();
@@ -208,10 +212,13 @@ Status UringBlockDevice::DoWriteBatch(BlockWriteRequest* reqs, size_t n) {
         if (ring_status.ok() &&
             ops[k].result == static_cast<int32_t>(block)) {
           req.status = Status::OK();
+          // The ring path bypasses PWriteBlock, where attempts are
+          // normally ticked; the scalar retry below ticks its own.
+          CountWriteAttempt();
         } else {
           req.status = DoWrite(req.page, req.buf);
         }
-        if (req.status.ok()) CountWrite();
+        if (req.status.ok()) CountBatchedWrite(kind);
       }
     }
   }

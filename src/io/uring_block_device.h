@@ -106,8 +106,13 @@ class UringBlockDevice final : public FileBlockDevice {
  protected:
   /// Same engine and same never-fails-harder contract as ReadBatch, for
   /// writes: requests bounce through the registered arena and retry through
-  /// the scalar pwrite path individually on any per-op failure.
-  Status DoWriteBatch(BlockWriteRequest* reqs, size_t n) override;
+  /// the scalar pwrite path individually on any per-op failure.  While any
+  /// write injection (fault, torn write, crash switch) is armed the batch
+  /// takes the ordered scalar loop instead, so injected crash points are
+  /// deterministic — the ring keeps a whole batch in flight at once and
+  /// has no defined inter-request order to crash between.
+  Status DoWriteBatch(BlockWriteRequest* reqs, size_t n,
+                      WriteKind kind) override;
 
  private:
   struct ArenaDeleter {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "io/file_block_device.h"
+#include "io/journal.h"
 #include "rtree/rtree.h"
 #include "util/status.h"
 
@@ -61,7 +62,7 @@ struct TreeMetaRecord {
   uint32_t dimension;
   int32_t height;
   uint32_t root;
-  uint32_t reserved;
+  uint32_t journal_epoch;   // 0: no journal; else must match the anchor
   uint64_t record_count;
   uint64_t allocated;       // device num_allocated() at persist time
   uint64_t peak_allocated;  // device peak_allocated() at persist time
@@ -215,6 +216,10 @@ Status PersistTree(const RTree<D>& tree, FileBlockDevice* device) {
   if (tree.empty()) {
     return Status::InvalidArgument("cannot persist an empty tree");
   }
+  // journal_epoch 0 and a 48-byte user-meta write: persisting through this
+  // plain path deliberately detaches any journal anchor the device held —
+  // the caller is declaring this meta record the whole truth.  Journaled
+  // trees persist through JournalWriter::Checkpoint instead.
   TreeMetaRecord meta{persist_internal::kTreeMetaMagic,
                       persist_internal::kTreeMetaVersion,
                       static_cast<uint32_t>(D),
@@ -253,6 +258,35 @@ Status AttachTree(FileBlockDevice* device, RTree<D>* tree) {
   }
   if (meta.dimension != static_cast<uint32_t>(D)) {
     return Status::InvalidArgument("persisted tree dimension mismatch");
+  }
+  // Journal validation: a journaled device may only attach through this
+  // plain path when its journal is quiescent — the anchor matches the
+  // meta record's epoch and no frames landed since the last checkpoint.
+  // Anything else means there may be committed ops newer than the meta
+  // record, which only JournaledTree::Open knows how to recover.
+  JournalAnchor anchor{};
+  bool anchor_present = false;
+  PRTREE_RETURN_NOT_OK(ReadJournalAnchor(*device, &anchor, &anchor_present));
+  if (anchor_present) {
+    if (meta.journal_epoch != anchor.epoch) {
+      return Status::Corruption(
+          "journal epoch mismatch (meta epoch " +
+          std::to_string(meta.journal_epoch) + ", anchor epoch " +
+          std::to_string(anchor.epoch) +
+          ") — recover via JournaledTree::Open");
+    }
+    bool pending = false;
+    PRTREE_RETURN_NOT_OK(JournalPending(*device, anchor, &pending));
+    if (pending) {
+      return Status::Corruption(
+          "device has unapplied journal frames — recover via "
+          "JournaledTree::Open");
+    }
+  } else if (meta.journal_epoch != 0) {
+    return Status::Corruption(
+        "tree metadata names journal epoch " +
+        std::to_string(meta.journal_epoch) +
+        " but the device holds no journal anchor");
   }
   // Staleness check: updates after the last PersistTree allocate/free
   // pages (a root split even moves the root), so the device's allocation

@@ -44,13 +44,18 @@ class RStarUpdater {
   /// \param epochs           optional: switches both the R* insert path
   ///                         and the delegated Guttman delete path to
   ///                         copy-on-write for snapshot readers.
+  /// \param journal          optional: logs both paths through the update
+  ///                         journal (io/journal.h).  Mutually exclusive
+  ///                         with `epochs`.
   explicit RStarUpdater(RTree<D>* tree, double min_fill = 0.4,
                         double reinsert_frac = 0.3,
                         BufferPool* pool = nullptr,
-                        EpochManager* epochs = nullptr)
+                        EpochManager* epochs = nullptr,
+                        JournalWriter* journal = nullptr)
       : tree_(tree),
-        guttman_(tree, SplitPolicy::kQuadratic, min_fill, pool, epochs),
-        io_(tree, pool, epochs) {
+        guttman_(tree, SplitPolicy::kQuadratic, min_fill, pool, epochs,
+                 journal),
+        io_(tree, pool, epochs, journal) {
     PRTREE_CHECK(min_fill > 0.0 && min_fill <= 0.5);
     PRTREE_CHECK(reinsert_frac > 0.0 && reinsert_frac < 0.5);
     min_entries_ = std::max<size_t>(
@@ -63,7 +68,7 @@ class RStarUpdater {
 
   /// Inserts one record with the full R* overflow treatment.
   void Insert(const RecordT& rec) {
-    io_.BeginOp();
+    io_.BeginInsert(rec);
     // Work queue of (rect, id, target level): forced reinsertion pushes
     // evicted entries here; each is allowed to trigger one reinsertion
     // per level, then splits take over (the R* rule).

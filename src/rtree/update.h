@@ -48,11 +48,15 @@ class RTreeUpdater {
   ///                 requires m <= capacity/2; 0.4 is the customary value.
   /// \param epochs   optional: switches the write path to copy-on-write
   ///                 for epoch-protected snapshot readers.
+  /// \param journal  optional: logs every op through the update journal
+  ///                 (copy-on-write, commit-at-EndOp — io/journal.h).
+  ///                 Mutually exclusive with `epochs`.
   explicit RTreeUpdater(RTree<D>* tree,
                         SplitPolicy policy = SplitPolicy::kQuadratic,
                         double min_fill = 0.4, BufferPool* pool = nullptr,
-                        EpochManager* epochs = nullptr)
-      : tree_(tree), policy_(policy), io_(tree, pool, epochs) {
+                        EpochManager* epochs = nullptr,
+                        JournalWriter* journal = nullptr)
+      : tree_(tree), policy_(policy), io_(tree, pool, epochs, journal) {
     PRTREE_CHECK(min_fill > 0.0 && min_fill <= 0.5);
     min_entries_ = std::max<size_t>(
         1, static_cast<size_t>(min_fill *
@@ -61,7 +65,7 @@ class RTreeUpdater {
 
   /// \brief Inserts one record in O(log_B N) I/Os.
   void Insert(const RecordT& rec) {
-    io_.BeginOp();
+    io_.BeginInsert(rec);
     InsertEntry(rec.rect, rec.id, /*target_level=*/0);
     tree_->set_size(tree_->size() + 1);
     io_.EndOp();
@@ -71,7 +75,7 @@ class RTreeUpdater {
   /// Returns false if no such record is stored.
   bool Delete(const RecordT& rec) {
     if (tree_->empty()) return false;
-    io_.BeginOp();
+    io_.BeginDelete(rec);
     std::vector<Orphan> orphans;
     DeleteResult res = DeleteRec(tree_->root(), tree_->height(), rec,
                                  &orphans);

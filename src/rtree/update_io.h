@@ -2,15 +2,17 @@
 // rtree/rstar.h).  Both previously carried identical copies of the
 // pool-read-then-copy and write-then-invalidate plumbing; it lives here
 // once now, which is also the single place where copy-on-write shadowing
-// happens when an EpochManager makes the tree multi-versioned.
+// happens when an EpochManager makes the tree multi-versioned — and the
+// single seam through which BOTH updaters log to the update journal.
 //
-// Two modes:
+// Three modes:
 //
-//  * Plain (no EpochManager): byte-for-byte the historical behaviour.
-//    Write() updates the page in place and invalidates the pool frame;
-//    Release() invalidates and frees immediately.  The device-op sequence
-//    (Read/Write/Allocate/Free order) is exactly what the pre-MVCC
-//    updaters issued, so page-id layouts and I/O counters stay identical.
+//  * Plain (no EpochManager, no journal): byte-for-byte the historical
+//    behaviour.  Write() updates the page in place and invalidates the
+//    pool frame; Release() invalidates and frees immediately.  The
+//    device-op sequence (Read/Write/Allocate/Free order) is exactly what
+//    the pre-MVCC updaters issued, so page-id layouts and I/O counters
+//    stay identical.
 //
 //  * MVCC (EpochManager attached): a snapshot reader may hold the current
 //    published root at any moment, so no page that version can reach is
@@ -24,11 +26,24 @@
 //    only then hands the replaced pages to EpochManager::Retire, so a
 //    reader can never load a root whose subtree is already being freed.
 //
+//  * Journaled (JournalWriter attached, io/journal.h): the same
+//    copy-on-write discipline, but the version being protected is the
+//    newest COMMITTED one on disk rather than a concurrent reader's.  The
+//    updater opens each op with BeginInsert()/BeginDelete(), which stages
+//    the logical record; EndOp() publishes and then either commits the op
+//    through the journal — the commit frame's block write is the durable
+//    point, and the replaced pages defer into the journal's free list —
+//    or aborts the staged record when the op never wrote (delete miss).
+//    Crash anywhere inside an op and recovery restores the previous
+//    committed root, whose pages are all still byte-intact.
+//
 // Pool discipline: in-place writes (plain mode, or fresh pages the
 // updater itself re-read through the pool) invalidate their frame right
 // away; shadowed-out pages keep their frames — the bytes stay accurate
 // for snapshot readers — and are invalidated at epoch-drain time by the
-// manager itself (the pool is attached on construction).
+// manager itself (the pool is attached on construction).  In journal mode
+// shadowed-out pages invalidate immediately: no concurrent reader holds
+// them, they merely await their deferred free.
 
 #ifndef PRTREE_RTREE_UPDATE_IO_H_
 #define PRTREE_RTREE_UPDATE_IO_H_
@@ -39,6 +54,7 @@
 #include <vector>
 
 #include "io/epoch.h"
+#include "io/journal.h"
 #include "rtree/rtree.h"
 
 namespace prtree {
@@ -46,21 +62,52 @@ namespace prtree {
 template <int D>
 class UpdaterIO {
  public:
-  /// \param tree    tree whose nodes are read/written (not owned).
-  /// \param pool    optional read cache over the tree's pages.
-  /// \param epochs  optional: presence switches on copy-on-write.  Must
-  ///                manage the same device as `tree`.
-  UpdaterIO(RTree<D>* tree, BufferPool* pool, EpochManager* epochs)
-      : tree_(tree), pool_(pool), epochs_(epochs) {
+  /// \param tree     tree whose nodes are read/written (not owned).
+  /// \param pool     optional read cache over the tree's pages.
+  /// \param epochs   optional: presence switches on copy-on-write for
+  ///                 snapshot readers.  Must manage the same device as
+  ///                 `tree`.
+  /// \param journal  optional: presence switches on copy-on-write for
+  ///                 crash consistency and logs every op through the
+  ///                 journal.  Mutually exclusive with `epochs` for now —
+  ///                 combining them needs retire-lists ordered across two
+  ///                 reclaimers (see docs/DURABILITY.md).
+  UpdaterIO(RTree<D>* tree, BufferPool* pool, EpochManager* epochs,
+            JournalWriter* journal = nullptr)
+      : tree_(tree), pool_(pool), epochs_(epochs), journal_(journal) {
+    PRTREE_CHECK(epochs_ == nullptr || journal_ == nullptr);
     if (epochs_ != nullptr && pool_ != nullptr) epochs_->AttachPool(pool_);
   }
 
   bool mvcc() const { return epochs_ != nullptr; }
+  bool journaled() const { return journal_ != nullptr; }
+
+  /// Copy-on-write is on whenever some other agent — a snapshot reader or
+  /// the last durable commit — may still need the current pages' bytes.
+  bool cow() const { return epochs_ != nullptr || journal_ != nullptr; }
 
   /// Marks the start of one logical update op (one Insert/Delete).
   void BeginOp() {
     PRTREE_CHECK(retired_.empty());  // missing EndOp on the previous op
     fresh_.clear();
+    wrote_ = false;
+  }
+
+  /// BeginOp() plus staging the op's logical record in the journal.  The
+  /// record reaches the device only inside EndOp()'s commit.
+  void BeginInsert(const Record<D>& rec) {
+    BeginOp();
+    if (journal_ != nullptr) {
+      journal_->StageRecord(JournalFrameType::kInsert, D,
+                            rec.rect.lo.data(), rec.rect.hi.data(), rec.id);
+    }
+  }
+  void BeginDelete(const Record<D>& rec) {
+    BeginOp();
+    if (journal_ != nullptr) {
+      journal_->StageRecord(JournalFrameType::kDelete, D,
+                            rec.rect.lo.data(), rec.rect.hi.data(), rec.id);
+    }
   }
 
   /// Reads `page` into the private working buffer `buf`, through the pool
@@ -79,25 +126,30 @@ class UpdaterIO {
 
   /// Stores `buf` as the new contents of logical node `page` and returns
   /// the id now holding them: `page` itself when writing in place, or a
-  /// fresh shadow page under MVCC (the caller must re-point the parent
-  /// entry — or the root — at the returned id).
+  /// fresh shadow page under copy-on-write (the caller must re-point the
+  /// parent entry — or the root — at the returned id).
   PageId Write(PageId page, const std::byte* buf) {
-    if (epochs_ == nullptr || fresh_.count(page) != 0) {
+    wrote_ = true;
+    if (!cow() || fresh_.count(page) != 0) {
       AbortIfError(tree_->device()->Write(page, buf));
       if (pool_ != nullptr) pool_->Invalidate(page);
       return page;
     }
     PageId shadow = WriteNew(buf);
-    retired_.push_back(page);
+    RetireCow(page);
     return shadow;
   }
 
   /// Allocates a fresh page, writes `buf` there, returns its id.
   PageId WriteNew(const std::byte* buf) {
+    wrote_ = true;
     PageId page = tree_->device()->Allocate();
     AbortIfError(tree_->device()->Write(page, buf));
-    if (epochs_ != nullptr) {
+    if (cow()) {
       fresh_.insert(page);
+      // Snapshot readers never hold fresh pages, but a pool frame from a
+      // previous tenant of this id may be stale.
+      if (epochs_ == nullptr && pool_ != nullptr) pool_->Invalidate(page);
     } else if (pool_ != nullptr) {
       pool_->Invalidate(page);
     }
@@ -105,24 +157,36 @@ class UpdaterIO {
   }
 
   /// The node at `page` left the tree (condensed away, shrunk root).
-  /// Plain mode frees it immediately; under MVCC a page some published
-  /// version may reference is queued for retirement instead, while a page
-  /// allocated within this op — never published — is freed eagerly.
+  /// Plain mode frees it immediately; under copy-on-write a page the
+  /// protected version may reference is queued for retirement instead,
+  /// while a page allocated within this op — never published or committed
+  /// — is freed eagerly.
   void Release(PageId page) {
-    if (epochs_ != nullptr && fresh_.erase(page) == 0) {
-      retired_.push_back(page);
+    wrote_ = true;
+    if (cow() && fresh_.erase(page) == 0) {
+      RetireCow(page);
       return;
     }
     if (pool_ != nullptr) pool_->Invalidate(page);
     tree_->device()->Free(page);
   }
 
-  /// Publishes the op — new readers now see the updated tree — then hands
-  /// the pages it replaced to the epoch manager.  The order is the MVCC
-  /// linchpin: pages retire only after no new reader can reach them.
+  /// Publishes the op — new readers now see the updated tree — then
+  /// reclaims or logs the pages it replaced.  Publish-before-retire is the
+  /// MVCC linchpin: pages retire only after no new reader can reach them.
+  /// In journal mode the commit frame lands after Publish too, so the
+  /// in-memory tree is never behind what a crash would recover.
   void EndOp() {
     tree_->Publish();
-    if (epochs_ != nullptr && !retired_.empty()) {
+    if (journal_ != nullptr) {
+      if (wrote_) {
+        AbortIfError(journal_->CommitOp(tree_->root(), tree_->height(),
+                                        tree_->size(), &retired_));
+      } else {
+        journal_->AbortOp();  // delete miss: nothing durable to do
+      }
+      retired_.clear();
+    } else if (epochs_ != nullptr && !retired_.empty()) {
       epochs_->Retire(std::move(retired_));
       retired_.clear();
     }
@@ -130,11 +194,21 @@ class UpdaterIO {
   }
 
  private:
+  /// A replaced page under copy-on-write: queue for retirement.  Journal
+  /// mode invalidates the pool frame right away (no snapshot reader needs
+  /// it; the page just waits for its post-commit deferred free).
+  void RetireCow(PageId page) {
+    retired_.push_back(page);
+    if (epochs_ == nullptr && pool_ != nullptr) pool_->Invalidate(page);
+  }
+
   RTree<D>* tree_;
   BufferPool* pool_;
   EpochManager* epochs_;
+  JournalWriter* journal_;
   std::unordered_set<PageId> fresh_;  // allocated by the op in flight
   std::vector<PageId> retired_;       // replaced pages awaiting EndOp
+  bool wrote_ = false;                // op touched the device
 };
 
 }  // namespace prtree

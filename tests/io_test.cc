@@ -498,5 +498,130 @@ TEST(WriteStagerTest, MoveTransfersStagedPages) {
   EXPECT_EQ(r[0], std::byte{0x66});
 }
 
+TEST(FaultInjectionTest, TornWriteLandsPrefixOnceThenHeals) {
+  MemoryBlockDevice dev(256);
+  PageId p = dev.Allocate();
+  std::vector<std::byte> a(256, std::byte{0xAA});
+  std::vector<std::byte> b(256, std::byte{0xBB});
+  ASSERT_TRUE(dev.Write(p, a.data()).ok());
+
+  dev.InjectTornWrite(p, 100);
+  ASSERT_TRUE(dev.Write(p, b.data()).ok());  // reports success anyway
+  std::vector<std::byte> got(256);
+  ASSERT_TRUE(dev.Read(p, got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), b.data(), 100), 0);
+  EXPECT_EQ(std::memcmp(got.data() + 100, a.data() + 100, 156), 0);
+
+  // One-shot: the next write of the same page lands whole.
+  ASSERT_TRUE(dev.Write(p, b.data()).ok());
+  ASSERT_TRUE(dev.Read(p, got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), b.data(), 256), 0);
+}
+
+TEST(FaultInjectionTest, CrashAfterNWritesDropsSilently) {
+  MemoryBlockDevice dev(256);
+  PageId p = dev.Allocate();
+  PageId q = dev.Allocate();
+  std::vector<std::byte> a(256, std::byte{0x11});
+  std::vector<std::byte> b(256, std::byte{0x22});
+  ASSERT_TRUE(dev.Write(p, a.data()).ok());
+  ASSERT_TRUE(dev.Write(q, a.data()).ok());
+
+  dev.InjectCrashAfterWrites(1);
+  EXPECT_FALSE(dev.crash_triggered());
+  ASSERT_TRUE(dev.Write(p, b.data()).ok());  // write #1 lands
+  ASSERT_TRUE(dev.Write(q, b.data()).ok());  // dropped, still reports OK
+  ASSERT_TRUE(dev.Write(q, b.data()).ok());  // dropped too
+  EXPECT_TRUE(dev.crash_triggered());
+  EXPECT_EQ(dev.dropped_writes(), 2u);
+
+  std::vector<std::byte> got(256);
+  ASSERT_TRUE(dev.Read(p, got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), b.data(), 256), 0);
+  ASSERT_TRUE(dev.Read(q, got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), a.data(), 256), 0);  // old contents
+
+  dev.ClearFaults();
+  ASSERT_TRUE(dev.Write(q, b.data()).ok());
+  ASSERT_TRUE(dev.Read(q, got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), b.data(), 256), 0);
+}
+
+TEST(FaultInjectionTest, CrashSwitchTearsTheFinalSurvivingWrite) {
+  MemoryBlockDevice dev(256);
+  PageId p = dev.Allocate();
+  std::vector<std::byte> a(256, std::byte{0x33});
+  std::vector<std::byte> b(256, std::byte{0x44});
+  ASSERT_TRUE(dev.Write(p, a.data()).ok());
+
+  dev.InjectCrashAfterWrites(1, /*tear_prefix_bytes=*/64);
+  ASSERT_TRUE(dev.Write(p, b.data()).ok());  // torn: first 64 bytes only
+  EXPECT_TRUE(dev.crash_triggered());
+  std::vector<std::byte> got(256);
+  ASSERT_TRUE(dev.Read(p, got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), b.data(), 64), 0);
+  EXPECT_EQ(std::memcmp(got.data() + 64, a.data() + 64, 192), 0);
+
+  ASSERT_TRUE(dev.Write(p, b.data()).ok());  // dropped outright
+  ASSERT_TRUE(dev.Read(p, got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data() + 64, a.data() + 64, 192), 0);
+}
+
+TEST(FaultInjectionTest, WriteBatchHonoursTheCrashSwitch) {
+  MemoryBlockDevice dev(256);
+  PageId pages[3] = {dev.Allocate(), dev.Allocate(), dev.Allocate()};
+  std::vector<std::byte> a(256, std::byte{0x55});
+  std::vector<std::byte> b(256, std::byte{0x66});
+  for (PageId p : pages) ASSERT_TRUE(dev.Write(p, a.data()).ok());
+  const uint64_t attempts_before = dev.write_attempts();
+
+  dev.InjectCrashAfterWrites(1);
+  BlockWriteRequest reqs[3];
+  for (int i = 0; i < 3; ++i) {
+    reqs[i].page = pages[i];
+    reqs[i].buf = b.data();
+  }
+  ASSERT_TRUE(dev.WriteBatch(reqs, 3).ok());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(reqs[i].status.ok());
+
+  // Writes are consumed in batch order: #1 lands, #2 and #3 are dropped;
+  // attempts tick for all three either way.
+  EXPECT_EQ(dev.write_attempts() - attempts_before, 3u);
+  EXPECT_EQ(dev.dropped_writes(), 2u);
+  std::vector<std::byte> got(256);
+  ASSERT_TRUE(dev.Read(pages[0], got.data()).ok());
+  EXPECT_EQ(std::memcmp(got.data(), b.data(), 256), 0);
+  for (int i = 1; i < 3; ++i) {
+    ASSERT_TRUE(dev.Read(pages[i], got.data()).ok());
+    EXPECT_EQ(std::memcmp(got.data(), a.data(), 256), 0);
+  }
+}
+
+TEST(FaultInjectionTest, MetaTransfersChargeMetaCountersOnly) {
+  MemoryBlockDevice dev(256);
+  PageId p = dev.Allocate();
+  std::vector<std::byte> buf(256, std::byte{0x77});
+  const IoStats before = dev.stats();
+
+  ASSERT_TRUE(dev.WriteMeta(p, buf.data()).ok());
+  ASSERT_TRUE(dev.ReadMeta(p, buf.data()).ok());
+  IoStats d = dev.stats() - before;
+  EXPECT_EQ(d.meta_writes, 1u);
+  EXPECT_EQ(d.meta_reads, 1u);
+  EXPECT_EQ(d.reads, 0u);
+  EXPECT_EQ(d.writes, 0u);
+  EXPECT_EQ(d.Total(), 0u);  // §3.3 demand metric untouched
+  EXPECT_EQ(d.TotalTransfers(), 2u);
+
+  // A kMeta batch moves blocks through meta_writes and never ticks the
+  // write_batches audit counter (that is a demand-path concept).
+  BlockWriteRequest req{p, buf.data(), Status::OK()};
+  ASSERT_TRUE(dev.WriteBatch(&req, 1, WriteKind::kMeta).ok());
+  d = dev.stats() - before;
+  EXPECT_EQ(d.meta_writes, 2u);
+  EXPECT_EQ(d.write_batches, 0u);
+  EXPECT_EQ(d.writes, 0u);
+}
+
 }  // namespace
 }  // namespace prtree

@@ -57,6 +57,13 @@ EXACT_LEAF_KEYS = {
     "knn_results",
     "writes",
     "write_batches",
+    # Journal leg (bench/throughput_concurrent.cc --journal=on): all
+    # deterministic functions of the op stream — journal frames, commits
+    # and region size never depend on timing (docs/DURABILITY.md).
+    "meta_reads",
+    "meta_writes",
+    "committed",
+    "journal_pages",
 }
 
 # Reported, never gated.
