@@ -10,6 +10,7 @@
 
 #include "core/prtree.h"
 #include "baselines/hilbert_rtree.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -25,6 +26,11 @@ int main(int argc, char** argv) {
               "data = %.1f MB) ===\n", n,
               static_cast<double>(n * sizeof(Record2)) / (1u << 20));
   auto data = workload::MakeSize(n, 0.01, opts.seed);
+
+  BenchJson json("ablation_memory");
+  AddBenchParams(opts, n, &json);
+  BenchJson::Table* jt = json.AddTable(
+      "memory", {"memory_kb", "pr_io", "pr_seconds", "h_io", "pr_over_h"});
 
   TablePrinter table({"memory budget", "PR I/Os", "PR seconds", "H I/Os",
                       "PR/H"});
@@ -59,9 +65,14 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(static_cast<double>(pr_io) /
                                         static_cast<double>(h_io),
                                     2)});
+    jt->AddRow({static_cast<unsigned long long>(mem_kb),
+                static_cast<unsigned long long>(pr_io), pr_seconds,
+                static_cast<unsigned long long>(h_io),
+                static_cast<double>(pr_io) / static_cast<double>(h_io)});
   }
   table.Print();
   std::printf("(expected: a log_{M/B}(N/B) staircase — I/O steps up as M "
               "shrinks, flat once the data fits in memory)\n");
+  json.WriteFile(opts.json_path);
   return 0;
 }

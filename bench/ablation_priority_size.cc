@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/prtree.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "io/buffer_pool.h"
 #include "util/table_printer.h"
@@ -25,6 +26,12 @@ int main(int argc, char** argv) {
   std::printf("=== Ablation: PR-tree priority-leaf size "
               "(ASPECT(1000), n=%zu) ===\n", n);
   auto data = workload::MakeAspect(n, 1000, opts.seed);
+
+  BenchJson json("ablation_priority_size");
+  AddBenchParams(opts, n, &json);
+  BenchJson::Table* jt = json.AddTable(
+      "priority_fill", {"fill", "leaves_per_query", "pct_of_optimal",
+                        "leaves", "utilization_pct"});
 
   TablePrinter table({"priority fill", "leaves/query", "%T/B", "leaves",
                       "space util"});
@@ -59,9 +66,15 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(pct, 1) + "%",
                   TablePrinter::FmtCount(ts.num_leaves),
                   TablePrinter::FmtPercent(100 * ts.utilization)});
+    jt->AddRow({frac,
+                static_cast<double>(leaves) /
+                    static_cast<double>(queries.size()),
+                pct, static_cast<unsigned long long>(ts.num_leaves),
+                100 * ts.utilization});
   }
   table.Print();
   std::printf("(expected: small priority leaves approach the [2] structure "
               "— more leaves, worse query cost; fill 1.0 is the PR-tree)\n");
+  json.WriteFile(opts.json_path);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "workload/datasets.h"
@@ -17,10 +18,16 @@ using namespace prtree::harness;  // NOLINT
 
 int main(int argc, char** argv) {
   BenchOptions opts = ParseBenchFlags(argc, argv, /*default_n=*/0);
-  (void)opts;
   const size_t rows = NodeCapacity<2>(kDefaultBlockSize);  // B = 113
   std::printf("=== Ablation: Theorem 1 query bound on the worst-case grid "
               "(B=%zu) ===\n", rows);
+
+  BenchJson json("ablation_query_bound");
+  AddBenchParams(opts, opts.n, &json);
+  json.Param("rows", static_cast<unsigned long long>(rows));
+  BenchJson::Table* jt = json.AddTable(
+      "bound", {"n", "sqrt_n_over_b", "pr_worst_leaves", "pr_constant",
+                "h_worst_leaves", "h_per_mille"});
 
   TablePrinter table({"N", "sqrt(N/B)", "PR worst leaves", "PR constant c",
                       "H worst leaves", "H/N per mille"});
@@ -35,7 +42,8 @@ int main(int argc, char** argv) {
           MakeRect(-1, y, static_cast<double>(columns) + 1, y));
     }
     auto worst = [&](Variant v) {
-      BuiltIndex index = BuildIndex(v, data);
+      BuiltIndex index =
+          BuildIndex(v, data, /*memory_bytes=*/0, opts.threads, opts.device);
       uint64_t w = 0;
       for (const auto& q : queries) {
         QueryStats qs = index.tree->Query(q, [](const Record2&) {});
@@ -54,9 +62,15 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(1000.0 * static_cast<double>(h) /
                                         static_cast<double>(n),
                                     2)});
+    jt->AddRow({static_cast<unsigned long long>(n), bound,
+                static_cast<unsigned long long>(pr),
+                static_cast<double>(pr) / bound,
+                static_cast<unsigned long long>(h),
+                1000.0 * static_cast<double>(h) / static_cast<double>(n)});
   }
   table.Print();
   std::printf("(expected: PR constant c stays bounded as N grows 16x; "
               "H grows linearly with N)\n");
+  json.WriteFile(opts.json_path);
   return 0;
 }

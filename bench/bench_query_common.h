@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "workload/queries.h"
@@ -45,22 +46,31 @@ inline VariantSet BuildAllVariants(const std::vector<Record2>& data,
 }
 
 /// Runs one query batch against every variant and appends a table row:
-/// label | avg T | <variant>%... (percent of optimal T/B).
+/// label | avg T | <variant>%... (percent of optimal T/B).  When
+/// `json_table` is set the same row is captured raw (x_value instead of
+/// the formatted label, unrounded averages and percentages) for
+/// tools/eval/run_eval.py.
 inline void AddQueryRow(const VariantSet& set,
                         const std::vector<Rect2>& queries,
-                        const std::string& label, TablePrinter* table) {
+                        const std::string& label, TablePrinter* table,
+                        BenchJson::Table* json_table = nullptr,
+                        double x_value = 0) {
   std::vector<std::string> row{label};
+  std::vector<BenchJson::Cell> json_row{x_value};
   bool first = true;
   for (size_t i = 0; i < set.indexes.size(); ++i) {
     QueryMeasurement m = MeasureQueries(set.indexes[i], queries);
     if (first) {
       row.push_back(TablePrinter::FmtCount(
           static_cast<uint64_t>(m.avg_results)));
+      json_row.emplace_back(m.avg_results);
       first = false;
     }
     row.push_back(TablePrinter::Fmt(m.pct_of_optimal, 1) + "%");
+    json_row.emplace_back(m.pct_of_optimal);
   }
   table->AddRow(std::move(row));
+  if (json_table != nullptr) json_table->AddRow(std::move(json_row));
 }
 
 inline std::vector<std::string> QueryTableHeaders(const VariantSet& set,
@@ -70,6 +80,17 @@ inline std::vector<std::string> QueryTableHeaders(const VariantSet& set,
     headers.push_back(std::string(VariantName(v)) + " %T/B");
   }
   return headers;
+}
+
+/// JSON column names matching the AddQueryRow json_row layout:
+/// x_name | avg_results | <variant>_pct_of_optimal...
+inline std::vector<std::string> QueryJsonColumns(const VariantSet& set,
+                                                 const std::string& x_name) {
+  std::vector<std::string> cols{x_name, "avg_results"};
+  for (Variant v : set.variants) {
+    cols.push_back(std::string(VariantName(v)) + "_pct_of_optimal");
+  }
+  return cols;
 }
 
 }  // namespace harness

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "workload/datasets.h"
@@ -37,6 +38,12 @@ int main(int argc, char** argv) {
       {"Eastern", workload::TigerRegion::kEastern, opts.ScaledN()},
   };
 
+  BenchJson json("fig09_bulkload_tiger");
+  AddBenchParams(opts, opts.ScaledN(), &json);
+  BenchJson::Table* jt = json.AddTable(
+      "build", {"region", "variant", "records", "io_blocks",
+                "blocks_per_record", "seconds", "utilization_pct"});
+
   for (const auto& spec : regions) {
     auto data = workload::MakeTigerLike(spec.n, spec.region, opts.seed);
     TablePrinter table({"variant", "blocks read+written", "blocks/record",
@@ -52,11 +59,17 @@ int main(int argc, char** argv) {
                     TablePrinter::Fmt(index.build_seconds, 2),
                     TablePrinter::FmtPercent(
                         100 * index.tree_stats.utilization)});
+      jt->AddRow({spec.name, VariantName(v),
+                  static_cast<unsigned long long>(spec.n),
+                  static_cast<unsigned long long>(index.build_io.Total()),
+                  io / static_cast<double>(spec.n), index.build_seconds,
+                  100 * index.tree_stats.utilization});
     }
     std::printf("\n--- %s data (%zu rectangles) ---\n", spec.name, spec.n);
     table.Print();
     std::printf("(paper shape: H == H4 ~= PR/2.5, TGS ~= 4.5*PR;"
                 " PR I/O here = %.0f)\n", pr_io);
   }
+  json.WriteFile(opts.json_path);
   return 0;
 }

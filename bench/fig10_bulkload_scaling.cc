@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "workload/datasets.h"
@@ -27,6 +28,12 @@ int main(int argc, char** argv) {
   auto full = workload::MakeTigerLike(opts.ScaledN(),
                                       workload::TigerRegion::kEastern,
                                       opts.seed);
+  BenchJson json("fig10_bulkload_scaling");
+  AddBenchParams(opts, opts.ScaledN(), &json);
+  BenchJson::Table* jt = json.AddTable(
+      "build_io", {"records", "H_io", "H4_io", "PR_io", "TGS_io",
+                   "tgs_over_pr", "pr_over_h"});
+
   TablePrinter table({"records", "H", "H4", "PR", "TGS",
                       "TGS/PR", "PR/H"});
   for (double f : kFractions) {
@@ -46,9 +53,12 @@ int main(int argc, char** argv) {
                   TablePrinter::FmtCount(static_cast<uint64_t>(ios[3])),
                   TablePrinter::Fmt(ios[3] / ios[2], 2),
                   TablePrinter::Fmt(ios[2] / ios[0], 2)});
+    jt->AddRow({static_cast<unsigned long long>(n), ios[0], ios[1], ios[2],
+                ios[3], ios[3] / ios[2], ios[2] / ios[0]});
   }
   table.Print();
   std::printf("(paper shape: H/H4/PR linear in n; TGS slightly "
               "super-linear; PR ~2.5x H; TGS ~4.5x PR)\n");
+  json.WriteFile(opts.json_path);
   return 0;
 }

@@ -8,7 +8,9 @@
 // (1,289s / 2.6M I/Os) are constant across all synthetic datasets.
 
 #include <cstdio>
+#include <string>
 
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "workload/datasets.h"
@@ -22,11 +24,34 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 11: TGS bulk-loading on synthetic data "
               "(n=%zu per dataset) ===\n", n);
 
+  // Forwards --threads and --device; with an explicit --path the file is
+  // suffixed per variant because two variants' devices can be alive at
+  // once (cf. BuildAllVariants).
+  auto build = [&](Variant v, const std::vector<Record2>& data) {
+    DeviceSpec spec = opts.device;
+    if (!spec.path.empty()) {
+      spec.path += std::string(".") + LoaderKindName(v);
+    }
+    return BuildIndex(v, data, /*memory_bytes=*/0, opts.threads, spec);
+  };
+
+  BenchJson json("fig11_tgs_synthetic");
+  AddBenchParams(opts, n, &json);
+  BenchJson::Table* jref =
+      json.AddTable("reference", {"variant", "io_blocks", "seconds"});
+  BenchJson::Table* jt = json.AddTable(
+      "tgs_build", {"dataset", "tgs_io", "tgs_seconds", "tgs_over_pr_io",
+                    "pr_io"});
+
   // Reference: PR (and H) on one dataset — their cost is distribution-
   // independent (verified by the variation rows below).
   auto ref_data = workload::MakeSize(n, 0.01, opts.seed);
-  BuiltIndex pr_ref = BuildIndex(Variant::kPrTree, ref_data);
-  BuiltIndex h_ref = BuildIndex(Variant::kHilbert, ref_data);
+  BuiltIndex pr_ref = build(Variant::kPrTree, ref_data);
+  BuiltIndex h_ref = build(Variant::kHilbert, ref_data);
+  jref->AddRow({"PR", static_cast<unsigned long long>(pr_ref.build_io.Total()),
+                pr_ref.build_seconds});
+  jref->AddRow({"H", static_cast<unsigned long long>(h_ref.build_io.Total()),
+                h_ref.build_seconds});
   std::printf("reference on SIZE(0.01): PR %s I/Os %.2fs | H %s I/Os %.2fs\n",
               TablePrinter::FmtCount(pr_ref.build_io.Total()).c_str(),
               pr_ref.build_seconds,
@@ -36,8 +61,8 @@ int main(int argc, char** argv) {
   TablePrinter table({"dataset", "TGS I/Os", "TGS seconds", "TGS/PR I/O",
                       "PR I/Os (same data)"});
   auto run = [&](const std::string& name, const std::vector<Record2>& data) {
-    BuiltIndex tgs = BuildIndex(Variant::kTgs, data);
-    BuiltIndex pr = BuildIndex(Variant::kPrTree, data);
+    BuiltIndex tgs = build(Variant::kTgs, data);
+    BuiltIndex pr = build(Variant::kPrTree, data);
     table.AddRow({name, TablePrinter::FmtCount(tgs.build_io.Total()),
                   TablePrinter::Fmt(tgs.build_seconds, 2),
                   TablePrinter::Fmt(
@@ -45,6 +70,11 @@ int main(int argc, char** argv) {
                           static_cast<double>(pr.build_io.Total()),
                       2),
                   TablePrinter::FmtCount(pr.build_io.Total())});
+    jt->AddRow({name, static_cast<unsigned long long>(tgs.build_io.Total()),
+                tgs.build_seconds,
+                static_cast<double>(tgs.build_io.Total()) /
+                    static_cast<double>(pr.build_io.Total()),
+                static_cast<unsigned long long>(pr.build_io.Total())});
   };
 
   for (double max_side : {0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2}) {
@@ -66,5 +96,6 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("(paper shape: TGS cost varies several-fold across datasets "
               "and is always a multiple of PR's)\n");
+  json.WriteFile(opts.json_path);
   return 0;
 }

@@ -20,16 +20,22 @@ int main(int argc, char** argv) {
   VariantSet set = BuildAllVariants(data, opts);
   Rect2 extent = set.indexes.front().tree->Mbr();
 
+  BenchJson json("fig13_query_eastern");
+  AddBenchParams(opts, n, &json);
+  BenchJson::Table* jt =
+      json.AddTable("query_cost", QueryJsonColumns(set, "query_area_pct"));
+
   TablePrinter table(QueryTableHeaders(set, "query area %"));
   int qseed = 200;
   for (double pct : {0.25, 0.50, 0.75, 1.00, 1.25, 1.50, 1.75, 2.00}) {
     auto queries = workload::MakeSquareQueries(extent, pct / 100.0,
                                                opts.queries,
                                                opts.seed + qseed++);
-    AddQueryRow(set, queries, TablePrinter::Fmt(pct, 2), &table);
+    AddQueryRow(set, queries, TablePrinter::Fmt(pct, 2), &table, jt, pct);
   }
   table.Print();
   std::printf("(paper shape: all variants within ~10%%, ordering "
               "TGS <= PR <= H <= H4, all near 100%% of T/B)\n");
+  json.WriteFile(opts.json_path);
   return 0;
 }

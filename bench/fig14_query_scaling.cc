@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
                                       workload::TigerRegion::kEastern,
                                       opts.seed);
 
+  BenchJson json("fig14_query_scaling");
+  AddBenchParams(opts, opts.ScaledN(), &json);
+  BenchJson::Table* jt = nullptr;
+
   TablePrinter table({"records", "avg T", "TGS %T/B", "PR %T/B", "H %T/B",
                       "H4 %T/B"});
   int qseed = 300;
@@ -30,12 +34,17 @@ int main(int argc, char** argv) {
     size_t n = static_cast<size_t>(f * static_cast<double>(full.size()));
     std::vector<Record2> data(full.begin(), full.begin() + n);
     VariantSet set = BuildAllVariants(data, opts);
+    if (jt == nullptr) {
+      jt = json.AddTable("query_cost", QueryJsonColumns(set, "records"));
+    }
     Rect2 extent = set.indexes.front().tree->Mbr();
     auto queries = workload::MakeSquareQueries(extent, 0.01, opts.queries,
                                                opts.seed + qseed++);
-    AddQueryRow(set, queries, TablePrinter::FmtCount(n), &table);
+    AddQueryRow(set, queries, TablePrinter::FmtCount(n), &table, jt,
+                static_cast<double>(n));
   }
   table.Print();
   std::printf("(paper shape: flat in dataset size; TGS <= PR <= H <= H4)\n");
+  json.WriteFile(opts.json_path);
   return 0;
 }

@@ -45,6 +45,21 @@
 //                        Sync+close) and every demand counter must match —
 //                        batching may only move wall-clock.  Writes
 //                        BENCH_writepath.json (--out overrides).
+//   --records=SPEC       run the out-of-core scale leg instead of the query
+//                        sweep: at each dataset size the records are
+//                        *streamed* from the seeded generator straight into
+//                        a device-resident Stream (RecordGenerator — 100M
+//                        records never materialize in RAM), grid-built
+//                        (force_grid) under the paper-proportional memory
+//                        budget, then measured with window queries and kNN
+//                        on BOTH the file and uring backends.  Every demand
+//                        counter (and the kNN result digest) must be
+//                        byte-identical across the two devices; the check
+//                        folds into "deterministic".  SPEC is a comma list
+//                        of counts with K/M suffixes; "A..B" expands by
+//                        doubling from A and always includes B
+//                        (10M..100M -> 10M,20M,40M,80M,100M).  Writes
+//                        BENCH_scale.json (--out overrides).
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,8 +73,11 @@
 #include "core/prtree.h"
 #include "harness/experiment.h"
 #include "io/buffer_pool.h"
+#include "io/stream.h"
 #include "io/uring_block_device.h"
 #include "io/write_stager.h"
+#include "rtree/knn.h"
+#include "util/random.h"
 #include "util/timer.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
@@ -513,6 +531,285 @@ int RunWritePhase(const std::string& device_kind, const std::string& path,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --records: the out-of-core scale leg.  Dataset sizes are parsed from a
+// K/M-suffixed spec; each point streams the seeded generator straight into
+// a device-resident Stream (no in-RAM dataset), grid-builds, then measures
+// window queries and kNN on both file and uring, asserting byte-identical
+// demand counters across the two backends.
+
+size_t ParseRecordCount(const std::string& tok) {
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end != nullptr) {
+    if (*end == 'K' || *end == 'k') v *= 1e3;
+    if (*end == 'M' || *end == 'm') v *= 1e6;
+  }
+  return static_cast<size_t>(v);
+}
+
+// "a,b,c" with K/M suffixes; "A..B" doubles from A and always ends at B.
+std::vector<size_t> ParseRecordsSpec(const std::string& spec) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string tok = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (tok.empty()) continue;
+    size_t dots = tok.find("..");
+    if (dots == std::string::npos) {
+      out.push_back(ParseRecordCount(tok));
+      continue;
+    }
+    size_t lo = ParseRecordCount(tok.substr(0, dots));
+    size_t hi = ParseRecordCount(tok.substr(dots + 2));
+    for (size_t v = lo; v < hi; v *= 2) out.push_back(v);
+    if (out.empty() || out.back() != hi) out.push_back(hi);
+  }
+  return out;
+}
+
+struct ScalePoint {
+  size_t records = 0;
+  // Build phase (grid path, paper-proportional memory budget).
+  double build_seconds = 0;
+  uint64_t build_io = 0;
+  uint64_t build_writes = 0;
+  uint64_t tree_nodes = 0;
+  uint64_t tree_leaves = 0;
+  // Window phase (readahead pool at a fraction of the tree).
+  double window_seconds = 0;
+  uint64_t window_leaves = 0;
+  uint64_t window_results = 0;
+  uint64_t window_demand_reads = 0;
+  uint64_t window_prefetch_reads = 0;
+  // kNN phase (same pool configuration).
+  double knn_seconds = 0;
+  uint64_t knn_leaves = 0;
+  uint64_t knn_results = 0;
+  uint64_t knn_digest = 0;  // FNV over neighbor ids + distance bits
+};
+
+struct ScaleLeg {
+  std::string device;
+  bool ring_active = false;
+  bool direct_io = false;
+  std::vector<ScalePoint> points;
+};
+
+ScalePoint RunScalePoint(const std::string& device_kind,
+                         const std::string& path, bool direct_io, size_t n,
+                         uint64_t seed, size_t num_queries, size_t num_knn,
+                         size_t k, double pool_frac, ScaleLeg* leg) {
+  ScalePoint pt;
+  pt.records = n;
+  harness::DeviceSpec spec;
+  spec.kind = device_kind;
+  spec.path = path;
+  spec.direct_io = direct_io;
+  auto dev = harness::OpenDeviceOrDie(spec, kDefaultBlockSize);
+  if (auto* uring = dynamic_cast<UringBlockDevice*>(dev.get())) {
+    leg->ring_active = uring->ring_active();
+  }
+  if (auto* file = dynamic_cast<FileBlockDevice*>(dev.get())) {
+    leg->direct_io = file->direct_io();
+  }
+
+  // Stage the dataset straight from the generator: the only RAM cost is
+  // the stream's one-block write buffer.
+  Stream<Record2> input(dev.get());
+  {
+    auto gen = workload::NewSizeGenerator(n, 0.001, seed);
+    Record2 rec;
+    while (gen->Next(&rec)) input.Push(rec);
+    input.Flush();
+  }
+
+  WorkEnv env{dev.get(), harness::ScaledMemoryBudget(n)};
+  PrTreeOptions opts;
+  opts.force_grid = true;  // always the external, write-heavy path
+  dev->ResetStats();
+  Timer build_timer;
+  RTree<2> tree(dev.get());
+  AbortIfError(BulkLoadPrTree<2>(env, &input, &tree, opts));
+  pt.build_seconds = build_timer.Seconds();
+  IoStats build_io = dev->stats();
+  pt.build_io = build_io.Total();
+  pt.build_writes = build_io.writes;
+  TreeStats ts = tree.ComputeStats();
+  pt.tree_nodes = ts.num_nodes;
+  pt.tree_leaves = ts.num_leaves;
+
+  // Out-of-core query state: the pool holds a fraction of the tree, with
+  // frontier readahead on (the uring backend's batched path).
+  size_t capacity = std::max<size_t>(
+      4, static_cast<size_t>(pool_frac * static_cast<double>(ts.num_nodes)));
+  auto queries = workload::MakeSquareQueries(tree.Mbr(), 0.01, num_queries,
+                                             seed + 17);
+  {
+    BufferPool pool(dev.get(), capacity);
+    pool.set_readahead(true);
+    dev->ResetStats();
+    Timer timer;
+    for (const Rect2& q : queries) {
+      QueryStats qs = tree.Query(q, [](const Record2&) {}, &pool);
+      pt.window_leaves += qs.leaves_visited;
+      pt.window_results += qs.results;
+    }
+    pt.window_seconds = timer.Seconds();
+    IoStats io = dev->stats();
+    pt.window_demand_reads = io.reads;
+    pt.window_prefetch_reads = io.prefetch_reads;
+  }
+
+  Rng rng(seed + 31);
+  {
+    BufferPool pool(dev.get(), capacity);
+    pool.set_readahead(true);
+    uint64_t digest = 1469598103934665603ull;
+    Timer timer;
+    for (size_t i = 0; i < num_knn; ++i) {
+      std::array<Real, 2> p{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      QueryStats qs;
+      auto neighbors = KnnSearch<2>(tree, p, k, &qs, &pool);
+      pt.knn_leaves += qs.leaves_visited;
+      pt.knn_results += neighbors.size();
+      for (const auto& nb : neighbors) {
+        uint64_t bits;
+        static_assert(sizeof(nb.distance) <= sizeof(bits));
+        bits = 0;
+        std::memcpy(&bits, &nb.distance, sizeof(nb.distance));
+        digest ^= nb.record.id;
+        digest *= 1099511628211ull;
+        digest ^= bits;
+        digest *= 1099511628211ull;
+      }
+    }
+    pt.knn_seconds = timer.Seconds();
+    pt.knn_digest = digest;
+  }
+  return pt;
+}
+
+std::string JsonForScaleLeg(const ScaleLeg& leg) {
+  char buf[640];
+  std::string json = "  {\n";
+  json += "    \"device\": \"" + leg.device + "\",\n";
+  json += std::string("    \"ring_active\": ") +
+          (leg.ring_active ? "true" : "false") + ",\n";
+  json += std::string("    \"direct_io\": ") +
+          (leg.direct_io ? "true" : "false") + ",\n";
+  json += "    \"points\": [\n";
+  for (size_t i = 0; i < leg.points.size(); ++i) {
+    const ScalePoint& pt = leg.points[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "      {\"n\": %zu,\n"
+        "       \"build\": {\"seconds\": %.6f, \"io_blocks\": %llu, "
+        "\"writes\": %llu, \"tree_nodes\": %llu, \"tree_leaves\": %llu},\n"
+        "       \"window\": {\"seconds\": %.6f, \"leaves\": %llu, "
+        "\"results\": %llu, \"demand_reads\": %llu, "
+        "\"prefetch_reads\": %llu},\n"
+        "       \"knn\": {\"seconds\": %.6f, \"leaves\": %llu, "
+        "\"knn_results\": %llu, \"digest\": \"%016llx\"}}%s\n",
+        pt.records, pt.build_seconds,
+        static_cast<unsigned long long>(pt.build_io),
+        static_cast<unsigned long long>(pt.build_writes),
+        static_cast<unsigned long long>(pt.tree_nodes),
+        static_cast<unsigned long long>(pt.tree_leaves), pt.window_seconds,
+        static_cast<unsigned long long>(pt.window_leaves),
+        static_cast<unsigned long long>(pt.window_results),
+        static_cast<unsigned long long>(pt.window_demand_reads),
+        static_cast<unsigned long long>(pt.window_prefetch_reads),
+        pt.knn_seconds, static_cast<unsigned long long>(pt.knn_leaves),
+        static_cast<unsigned long long>(pt.knn_results),
+        static_cast<unsigned long long>(pt.knn_digest),
+        i + 1 < leg.points.size() ? "," : "");
+    json += buf;
+  }
+  json += "    ]\n  }";
+  return json;
+}
+
+int RunScalePhase(const std::vector<size_t>& records, const std::string& path,
+                  bool direct_io, uint64_t seed, size_t num_queries,
+                  int repeats, const std::string& out_path) {
+  (void)repeats;  // each point is one full build — repeats would double it
+  const size_t num_knn = std::min<size_t>(num_queries, 64);
+  const size_t k = 10;
+  const double pool_frac = 0.125;
+  std::printf("=== outofcore_sweep --records: %zu sizes, file+uring, "
+              "streamed build + window + kNN ===\n", records.size());
+
+  ScaleLeg file_leg{"file", false, false, {}};
+  ScaleLeg uring_leg{"uring", false, false, {}};
+  bool ok = true;
+  std::printf("%12s %7s %10s %12s %10s %12s %10s %6s\n", "records", "dev",
+              "build s", "build I/O", "window s", "demand reads", "knn s",
+              "agree");
+  for (size_t n : records) {
+    ScalePoint fp = RunScalePoint(
+        "file", path.empty() ? "" : path + ".file", direct_io, n, seed,
+        num_queries, num_knn, k, pool_frac, &file_leg);
+    ScalePoint up = RunScalePoint(
+        "uring", path.empty() ? "" : path + ".uring", direct_io, n, seed,
+        num_queries, num_knn, k, pool_frac, &uring_leg);
+    // The §3.3 invariant at scale: which blocks the build writes and the
+    // traversals demand is a property of the algorithm, not the backend.
+    bool same = fp.build_io == up.build_io &&
+                fp.build_writes == up.build_writes &&
+                fp.tree_nodes == up.tree_nodes &&
+                fp.tree_leaves == up.tree_leaves &&
+                fp.window_leaves == up.window_leaves &&
+                fp.window_results == up.window_results &&
+                fp.window_demand_reads == up.window_demand_reads &&
+                fp.window_prefetch_reads == up.window_prefetch_reads &&
+                fp.knn_leaves == up.knn_leaves &&
+                fp.knn_results == up.knn_results &&
+                fp.knn_digest == up.knn_digest;
+    if (!same) {
+      std::fprintf(stderr,
+                   "!! n=%zu: file and uring disagree on demand counters\n",
+                   n);
+      ok = false;
+    }
+    for (const ScalePoint* pt : {&fp, &up}) {
+      std::printf("%12zu %7s %10.3f %12llu %10.3f %12llu %10.3f %6s\n",
+                  n, pt == &fp ? "file" : "uring", pt->build_seconds,
+                  static_cast<unsigned long long>(pt->build_io),
+                  pt->window_seconds,
+                  static_cast<unsigned long long>(pt->window_demand_reads),
+                  pt->knn_seconds, same ? "yes" : "NO");
+    }
+    file_leg.points.push_back(fp);
+    uring_leg.points.push_back(up);
+  }
+
+  std::string json = "{\n  \"bench\": \"scale_sweep\",\n";
+  json += "  \"queries\": " + std::to_string(num_queries) + ",\n";
+  json += "  \"knn\": " + std::to_string(num_knn) + ",\n";
+  json += "  \"k\": " + std::to_string(k) + ",\n";
+  json += "  \"legs\": [\n" + JsonForScaleLeg(file_leg) + ",\n" +
+          JsonForScaleLeg(uring_leg) + "\n  ],\n";
+  json += std::string("  \"deterministic\": ") + (ok ? "true" : "false") +
+          "\n}\n";
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "CROSS-DEVICE IDENTITY CHECK FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -529,6 +826,7 @@ int main(int argc, char** argv) {
   bool verify_cross = false;
   bool write_phase = false;
   bool out_set = false;
+  std::string records_spec;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--n=", 4) == 0) {
@@ -563,13 +861,15 @@ int main(int argc, char** argv) {
       verify_cross = true;
     } else if (std::strcmp(arg, "--write") == 0) {
       write_phase = true;
+    } else if (std::strncmp(arg, "--records=", 10) == 0) {
+      records_spec = arg + 10;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--n=N] [--queries=Q] "
                    "[--seed=S] [--device=file|uring] [--path=FILE] "
                    "[--budgets=a,b,...] [--repeats=R] [--direct] "
                    "[--out=PATH] [--smoke] [--verify-cross-device] "
-                   "[--write]\n",
+                   "[--write] [--records=SPEC]\n",
                    arg, argv[0]);
       return 2;
     }
@@ -584,6 +884,17 @@ int main(int argc, char** argv) {
     num_queries = 64;
     budgets = {0.125, 0.5};
     repeats = 2;
+  }
+  if (!records_spec.empty()) {
+    if (smoke) records_spec = "40K,80K";  // tiny but still two scale points
+    if (!out_set) out_path = "BENCH_scale.json";
+    std::vector<size_t> records = ParseRecordsSpec(records_spec);
+    if (records.empty()) {
+      std::fprintf(stderr, "--records spec parsed to nothing\n");
+      return 2;
+    }
+    return RunScalePhase(records, path, direct_io, seed, num_queries,
+                         repeats, out_path);
   }
   if (write_phase) {
     if (!out_set) out_path = "BENCH_writepath.json";

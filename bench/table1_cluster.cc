@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "workload/datasets.h"
@@ -33,12 +34,22 @@ int main(int argc, char** argv) {
               "thin horizontal stab queries ===\n", clusters, per_cluster);
 
   auto data = workload::MakeCluster(clusters, per_cluster, opts.seed);
+
+  BenchJson json("table1_cluster");
+  AddBenchParams(opts, n, &json);
+  json.Param("clusters", static_cast<unsigned long long>(clusters));
+  json.Param("per_cluster", static_cast<unsigned long long>(per_cluster));
+  BenchJson::Table* jt = json.AddTable(
+      "cluster_query", {"variant", "avg_leaf_io", "pct_tree_visited",
+                        "avg_results", "build_io"});
+
   TablePrinter table({"tree", "# leaf I/Os (avg)", "% of R-tree visited",
                       "avg T", "build I/Os"});
   double pr_frac = 0, worst_frac = 0;
   for (Variant v : {Variant::kHilbert, Variant::kHilbert4D, Variant::kPrTree,
                     Variant::kTgs}) {
-    BuiltIndex index = BuildIndex(v, data);
+    BuiltIndex index =
+        BuildIndex(v, data, /*memory_bytes=*/0, opts.threads, opts.device);
     Rect2 extent = index.tree->Mbr();
     auto queries = workload::MakeHorizontalStabQueries(
         extent, /*height=*/1e-7, /*band=*/0.9, opts.queries, opts.seed + 5);
@@ -52,10 +63,14 @@ int main(int argc, char** argv) {
                   TablePrinter::FmtCount(
                       static_cast<uint64_t>(m.avg_results)),
                   TablePrinter::FmtCount(index.build_io.Total())});
+    jt->AddRow({VariantName(v), m.avg_leaves, 100 * m.frac_tree_visited,
+                m.avg_results,
+                static_cast<unsigned long long>(index.build_io.Total())});
   }
   table.Print();
   std::printf("(paper: H 37%%, H4 94%%, PR 1.2%%, TGS 25%% — PR wins by "
               ">10x; here PR visits %.1f%% vs worst heuristic %.1f%%)\n",
               100 * pr_frac, 100 * worst_frac);
+  json.WriteFile(opts.json_path);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 #include "util/table_printer.h"
 #include "workload/datasets.h"
@@ -29,22 +30,33 @@ int main(int argc, char** argv) {
     queries.push_back(MakeRect(-1, y, static_cast<double>(columns) + 1, y));
   }
 
+  BenchJson json("thm3_worstcase");
+  AddBenchParams(opts, n, &json);
+  json.Param("columns", static_cast<unsigned long long>(columns));
+  json.Param("rows", static_cast<unsigned long long>(rows));
+  BenchJson::Table* jt = json.AddTable(
+      "worstcase", {"variant", "avg_leaves", "pct_leaves", "results"});
+
   TablePrinter table({"tree", "leaves visited (avg)", "% of leaves",
                       "results"});
   for (Variant v : {Variant::kHilbert, Variant::kHilbert4D, Variant::kPrTree,
                     Variant::kTgs}) {
-    BuiltIndex index = BuildIndex(v, data);
+    BuiltIndex index =
+        BuildIndex(v, data, /*memory_bytes=*/0, opts.threads, opts.device);
     QueryMeasurement m = MeasureQueries(index, queries);
     table.AddRow({VariantName(v),
                   TablePrinter::FmtCount(
                       static_cast<uint64_t>(m.avg_leaves)),
                   TablePrinter::FmtPercent(100 * m.frac_tree_visited),
                   TablePrinter::FmtCount(m.total_results)});
+    jt->AddRow({VariantName(v), m.avg_leaves, 100 * m.frac_tree_visited,
+                static_cast<unsigned long long>(m.total_results)});
   }
   table.Print();
   double bound = std::sqrt(static_cast<double>(n) / static_cast<double>(rows));
   std::printf("(T = 0 for every query; Theorem 3: H/H4/TGS visit Θ(N/B) "
               "leaves; Theorem 1 bound for PR: O(sqrt(N/B)) = O(%.0f))\n",
               bound);
+  json.WriteFile(opts.json_path);
   return 0;
 }

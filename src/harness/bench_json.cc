@@ -1,0 +1,145 @@
+#include "harness/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+
+namespace prtree {
+namespace harness {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string CellToJson(const BenchJson::Cell& cell) {
+  switch (cell.kind) {
+    case BenchJson::Cell::Kind::kBool:
+      return cell.flag ? "true" : "false";
+    case BenchJson::Cell::Kind::kString:
+      return "\"" + EscapeJson(cell.str) + "\"";
+    case BenchJson::Cell::Kind::kNumber: {
+      char buf[64];
+      // Counters print exactly; measured doubles keep 10 significant
+      // digits, enough that re-rendering is byte-stable run to run for
+      // any deterministic quantity.
+      if (std::isfinite(cell.num) && cell.num == std::floor(cell.num) &&
+          std::fabs(cell.num) < 9.0e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(cell.num));
+      } else if (std::isfinite(cell.num)) {
+        std::snprintf(buf, sizeof(buf), "%.10g", cell.num);
+      } else {
+        // JSON has no NaN/Inf; null keeps the document parseable.
+        std::snprintf(buf, sizeof(buf), "null");
+      }
+      return buf;
+    }
+  }
+  return "null";
+}
+
+}  // namespace
+
+void BenchJson::Table::AddRow(std::vector<Cell> cells) {
+  PRTREE_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+BenchJson::BenchJson(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchJson::Param(const std::string& key, Cell value) {
+  params_.emplace_back(key, std::move(value));
+}
+
+BenchJson::Table* BenchJson::AddTable(std::string name,
+                                      std::vector<std::string> columns) {
+  auto table = std::make_unique<Table>();
+  table->name_ = std::move(name);
+  table->columns_ = std::move(columns);
+  tables_.push_back(std::move(table));
+  return tables_.back().get();
+}
+
+std::string BenchJson::ToString() const {
+  std::string json = "{\n";
+  json += "  \"bench\": \"" + EscapeJson(bench_name_) + "\",\n";
+  json += "  \"params\": {";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (i > 0) json += ", ";
+    json += "\"" + EscapeJson(params_[i].first) +
+            "\": " + CellToJson(params_[i].second);
+  }
+  json += "},\n";
+  json += "  \"tables\": [\n";
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const Table& table = *tables_[t];
+    json += "    {\"name\": \"" + EscapeJson(table.name_) + "\",\n";
+    json += "     \"columns\": [";
+    for (size_t c = 0; c < table.columns_.size(); ++c) {
+      if (c > 0) json += ", ";
+      json += "\"" + EscapeJson(table.columns_[c]) + "\"";
+    }
+    json += "],\n";
+    json += "     \"rows\": [\n";
+    for (size_t r = 0; r < table.rows_.size(); ++r) {
+      json += "       [";
+      for (size_t c = 0; c < table.rows_[r].size(); ++c) {
+        if (c > 0) json += ", ";
+        json += CellToJson(table.rows_[r][c]);
+      }
+      json += r + 1 < table.rows_.size() ? "],\n" : "]\n";
+    }
+    json += "     ]}";
+    json += t + 1 < tables_.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  if (path.empty()) return true;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string json = ToString();
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace harness
+}  // namespace prtree

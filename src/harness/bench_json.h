@@ -1,0 +1,103 @@
+// Machine-readable mirror of the bench programs' human tables.
+//
+// Every figure/table/ablation bench prints TablePrinter tables for eyes;
+// with --json=PATH (harness/experiment.h, ParseBenchFlags) the same rows
+// are captured *raw* — unformatted numbers, no percent signs or thousands
+// separators — into one uniform document that the evaluation driver
+// (tools/eval/run_eval.py) renders into the committed tables and plots
+// under docs/eval/.  Schema (docs/BENCH_FORMAT.md):
+//
+//   {
+//     "bench": "fig12_query_western",
+//     "params": {"n": 400000, "queries": 100, "seed": 1, "device": "memory"},
+//     "tables": [
+//       {"name": "query_cost",
+//        "columns": ["query area %", "avg T", "TGS %T/B", ...],
+//        "rows": [[0.25, 812, 104.1, ...], ...]}
+//     ]
+//   }
+//
+// Cells are numbers wherever the underlying quantity is numeric; columns
+// holding wall-clock keep the name "seconds" so downstream consumers can
+// identify (and drop) the only machine-dependent values.  Counter cells are
+// exact: integral values print as integers, everything else as %.10g.
+
+#ifndef PRTREE_HARNESS_BENCH_JSON_H_
+#define PRTREE_HARNESS_BENCH_JSON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prtree {
+namespace harness {
+
+/// \brief Capture-and-serialize helper for the figure benches' JSON output.
+///
+/// Construct with the bench name, record Param() scalars and AddTable()/
+/// AddRow() mirrors of every printed table, then WriteFile() once at the
+/// end.  All methods are no-fail; WriteFile reports I/O errors.
+class BenchJson {
+ public:
+  /// One table cell: a number, a string, or a bool.
+  struct Cell {
+    enum class Kind { kNumber, kString, kBool };
+    Kind kind;
+    double num = 0;
+    bool flag = false;
+    std::string str;
+
+    Cell(double v) : kind(Kind::kNumber), num(v) {}                 // NOLINT
+    Cell(int v) : kind(Kind::kNumber), num(v) {}                    // NOLINT
+    Cell(unsigned v) : kind(Kind::kNumber), num(v) {}               // NOLINT
+    Cell(long v) : kind(Kind::kNumber),                             // NOLINT
+                   num(static_cast<double>(v)) {}
+    Cell(unsigned long v) : kind(Kind::kNumber),                    // NOLINT
+                            num(static_cast<double>(v)) {}
+    Cell(long long v) : kind(Kind::kNumber),                        // NOLINT
+                        num(static_cast<double>(v)) {}
+    Cell(unsigned long long v) : kind(Kind::kNumber),               // NOLINT
+                                 num(static_cast<double>(v)) {}
+    Cell(bool v) : kind(Kind::kBool), flag(v) {}                    // NOLINT
+    Cell(const char* v) : kind(Kind::kString), str(v) {}            // NOLINT
+    Cell(std::string v) : kind(Kind::kString), str(std::move(v)) {} // NOLINT
+  };
+
+  /// A captured table: fixed columns, then rows of matching width.
+  class Table {
+   public:
+    void AddRow(std::vector<Cell> cells);
+
+   private:
+    friend class BenchJson;
+    std::string name_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<Cell>> rows_;
+  };
+
+  explicit BenchJson(std::string bench_name);
+
+  /// Records a top-level scalar under "params" (insertion order kept).
+  void Param(const std::string& key, Cell value);
+
+  /// Adds a named table; the pointer stays valid for the document's life.
+  Table* AddTable(std::string name, std::vector<std::string> columns);
+
+  std::string ToString() const;
+
+  /// Serializes to `path`.  Empty path is a silent no-op (the benches call
+  /// this unconditionally; --json unset means "no JSON").  Returns false
+  /// and prints to stderr when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, Cell>> params_;
+  // unique_ptr so AddTable's returned pointer survives vector growth.
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace harness
+}  // namespace prtree
+
+#endif  // PRTREE_HARNESS_BENCH_JSON_H_

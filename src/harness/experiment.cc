@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "harness/bench_json.h"
 #include "io/buffer_pool.h"
 #include "io/file_block_device.h"
 #include "io/uring_block_device.h"
@@ -179,6 +180,8 @@ BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n) {
       }
     } else if (parse("--path=", &value)) {
       opts.device.path = value;
+    } else if (parse("--json=", &value)) {
+      opts.json_path = value;
     } else if (std::strcmp(arg, "--direct") == 0) {
       opts.device.direct_io = true;
     } else if (std::strncmp(arg, "--family=", 9) == 0) {
@@ -187,12 +190,21 @@ BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n) {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--n=N] [--queries=Q] "
                    "[--seed=S] [--scale=F] [--threads=T] "
-                   "[--device=memory|file|uring] [--path=FILE] [--direct]\n",
+                   "[--device=memory|file|uring] [--path=FILE] [--direct] "
+                   "[--json=PATH]\n",
                    arg, argv[0]);
       std::exit(2);
     }
   }
   return opts;
+}
+
+void AddBenchParams(const BenchOptions& opts, size_t n, BenchJson* json) {
+  json->Param("n", static_cast<unsigned long long>(n));
+  json->Param("queries", static_cast<unsigned long long>(opts.queries));
+  json->Param("seed", static_cast<unsigned long long>(opts.seed));
+  json->Param("threads", opts.threads);
+  json->Param("device", opts.device.kind);
 }
 
 }  // namespace harness

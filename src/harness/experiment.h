@@ -112,6 +112,9 @@ QueryMeasurement MeasureQueries(const BuiltIndex& index,
 ///                       (default: an anonymous temp file removed at exit)
 ///   --direct            file/uring backends only: request O_DIRECT
 ///                       (best effort; page-cache bypass where supported)
+///   --json=<path>       additionally write the bench's tables as raw
+///                       machine-readable JSON (harness/bench_json.h) —
+///                       what tools/eval/run_eval.py consumes
 struct BenchOptions {
   size_t n = 0;
   size_t queries = 100;
@@ -120,6 +123,7 @@ struct BenchOptions {
   double scale = 1.0;
   int threads = 1;
   DeviceSpec device;
+  std::string json_path;  // empty: no JSON output
 
   size_t ScaledN() const {
     return static_cast<size_t>(static_cast<double>(n) * scale);
@@ -128,6 +132,13 @@ struct BenchOptions {
 
 /// Parses the shared flags; unknown flags abort with a usage message.
 BenchOptions ParseBenchFlags(int argc, char** argv, size_t default_n);
+
+class BenchJson;
+
+/// Records the shared flag set (`n`, `queries`, `seed`, `threads`,
+/// `device`) as params of a --json document, so every fig bench's JSON
+/// carries the same provenance block.
+void AddBenchParams(const BenchOptions& opts, size_t n, BenchJson* json);
 
 }  // namespace harness
 }  // namespace prtree

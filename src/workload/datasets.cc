@@ -1,6 +1,7 @@
 #include "workload/datasets.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 #include "util/random.h"
@@ -18,84 +19,259 @@ Record2 MakeRecord(double xmin, double ymin, double xmax, double ymax,
   return rec;
 }
 
+// Every Make* function drains the matching generator, so the streaming and
+// materializing paths cannot diverge.
+std::vector<Record2> Drain(RecordGenerator* gen, size_t reserve) {
+  std::vector<Record2> out;
+  out.reserve(reserve);
+  Record2 rec;
+  while (gen->Next(&rec)) out.push_back(rec);
+  return out;
+}
+
+class SizeGenerator final : public RecordGenerator {
+ public:
+  SizeGenerator(size_t n, double max_side, uint64_t seed)
+      : n_(n), max_side_(max_side), rng_(seed) {
+    PRTREE_CHECK(max_side > 0 && max_side <= 1.0);
+  }
+
+  bool Next(Record2* out) override {
+    if (produced_ == n_) return false;
+    for (;;) {
+      double w = rng_.Uniform(0, max_side_);
+      double h = rng_.Uniform(0, max_side_);
+      double cx = rng_.Uniform(0, 1);
+      double cy = rng_.Uniform(0, 1);
+      double xmin = cx - w / 2, xmax = cx + w / 2;
+      double ymin = cy - h / 2, ymax = cy + h / 2;
+      // §3.2: "we discarded rectangles that were not completely inside the
+      // unit square (but made sure each dataset had [n] rectangles)".
+      if (xmin < 0 || ymin < 0 || xmax > 1 || ymax > 1) continue;
+      *out = MakeRecord(xmin, ymin, xmax, ymax,
+                        static_cast<DataId>(produced_++));
+      return true;
+    }
+  }
+
+ private:
+  size_t n_;
+  double max_side_;
+  Rng rng_;
+  size_t produced_ = 0;
+};
+
+class AspectGenerator final : public RecordGenerator {
+ public:
+  AspectGenerator(size_t n, double aspect, uint64_t seed)
+      : n_(n), rng_(seed) {
+    PRTREE_CHECK(aspect >= 1.0);
+    constexpr double kArea = 1e-6;  // §3.2: fixed, reasonably small area
+    // Long side l and short side s with l*s = kArea, l/s = aspect.
+    long_side_ = std::sqrt(kArea * aspect);
+    short_side_ = std::sqrt(kArea / aspect);
+  }
+
+  bool Next(Record2* out) override {
+    if (produced_ == n_) return false;
+    for (;;) {
+      double w = long_side_, h = short_side_;
+      if (rng_.Chance(0.5)) std::swap(w, h);  // long side vertical or horiz.
+      double cx = rng_.Uniform(0, 1);
+      double cy = rng_.Uniform(0, 1);
+      double xmin = cx - w / 2, xmax = cx + w / 2;
+      double ymin = cy - h / 2, ymax = cy + h / 2;
+      if (xmin < 0 || ymin < 0 || xmax > 1 || ymax > 1) continue;
+      *out = MakeRecord(xmin, ymin, xmax, ymax,
+                        static_cast<DataId>(produced_++));
+      return true;
+    }
+  }
+
+ private:
+  size_t n_;
+  double long_side_ = 0, short_side_ = 0;
+  Rng rng_;
+  size_t produced_ = 0;
+};
+
+class SkewedGenerator final : public RecordGenerator {
+ public:
+  SkewedGenerator(size_t n, int c, uint64_t seed) : n_(n), c_(c), rng_(seed) {
+    PRTREE_CHECK(c >= 1);
+  }
+
+  bool Next(Record2* out) override {
+    if (produced_ == n_) return false;
+    double x = rng_.Uniform(0, 1);
+    double y = std::pow(rng_.Uniform(0, 1), c_);
+    *out = MakeRecord(x, y, x, y, static_cast<DataId>(produced_++));
+    return true;
+  }
+
+ private:
+  size_t n_;
+  int c_;
+  Rng rng_;
+  size_t produced_ = 0;
+};
+
+class ClusterGenerator final : public RecordGenerator {
+ public:
+  ClusterGenerator(size_t clusters, size_t per_cluster, uint64_t seed)
+      : clusters_(clusters), per_cluster_(per_cluster), rng_(seed) {
+    PRTREE_CHECK(clusters >= 1);
+  }
+
+  bool Next(Record2* out) override {
+    if (cluster_ == clusters_) return false;
+    constexpr double kClusterSide = 1e-5;  // §3.2
+    // Centres equally spaced on a horizontal line across the unit square.
+    double cx = (static_cast<double>(cluster_) + 0.5) /
+                static_cast<double>(clusters_);
+    double cy = 0.5;
+    double x = cx + rng_.Uniform(-kClusterSide / 2, kClusterSide / 2);
+    double y = cy + rng_.Uniform(-kClusterSide / 2, kClusterSide / 2);
+    *out = MakeRecord(x, y, x, y, static_cast<DataId>(produced_++));
+    if (++in_cluster_ == per_cluster_) {
+      in_cluster_ = 0;
+      ++cluster_;
+    }
+    return true;
+  }
+
+ private:
+  size_t clusters_;
+  size_t per_cluster_;
+  Rng rng_;
+  size_t cluster_ = 0;
+  size_t in_cluster_ = 0;
+  size_t produced_ = 0;
+};
+
+class TigerLikeGenerator final : public RecordGenerator {
+ public:
+  TigerLikeGenerator(size_t n, TigerRegion region, uint64_t seed)
+      : n_(n),
+        eastern_(region == TigerRegion::kEastern),
+        rng_(seed + (eastern_ ? 0x9E3779B97F4A7C15ull
+                              : 0xC2B2AE3D27D4EB4Full)) {
+    // Region presets: the East coast has more, denser urban areas; the
+    // West fewer and sparser, spread over a wider extent.
+    const size_t num_centers = eastern_ ? 160 : 60;
+    centers_.reserve(num_centers);
+    for (size_t i = 0; i < num_centers; ++i) {
+      centers_.emplace_back(rng_.Uniform(0.05, 0.95),
+                            rng_.Uniform(0.05, 0.95));
+    }
+  }
+
+  bool Next(Record2* out) override {
+    if (produced_ == n_) return false;
+    const double urban_sigma = eastern_ ? 0.012 : 0.02;
+    const double urban_fraction = eastern_ ? 0.82 : 0.72;
+    // Urban blocks are short; rural segments are several times longer with
+    // a heavier tail (real TIGER chops long country roads into fewer,
+    // longer pieces) — the extent mix is what separates extent-aware
+    // loaders from centre-only ones on this data.
+    const double urban_segment = 2e-4;
+    const double rural_segment = 1.5e-3;
+    // Roads: random walks of short segments; each record is one segment's
+    // bounding box, so most rectangles are thin and tiny (like TIGER's
+    // road segments, where "long roads are divided into short segments").
+    for (;;) {
+      if (remaining_in_road_ == 0) {
+        // Start a new road at an urban centre (or in the countryside).
+        if (rng_.Chance(urban_fraction)) {
+          const auto& c = centers_[rng_.UniformInt(0, centers_.size() - 1)];
+          x_ = c.first + rng_.Gaussian(0, urban_sigma);
+          y_ = c.second + rng_.Gaussian(0, urban_sigma);
+          mean_segment_ = urban_segment;
+        } else {
+          x_ = rng_.Uniform(0, 1);
+          y_ = rng_.Uniform(0, 1);
+          mean_segment_ = rural_segment;
+        }
+        heading_ = rng_.Uniform(0, 2 * M_PI);
+        remaining_in_road_ = 3 + rng_.UniformInt(0, 60);
+      }
+      double len = rng_.Exponential(mean_segment_);
+      heading_ += rng_.Gaussian(0, 0.35);  // roads bend gently
+      double nx = x_ + len * std::cos(heading_);
+      double ny = y_ + len * std::sin(heading_);
+      if (nx < 0 || nx > 1 || ny < 0 || ny > 1) {
+        remaining_in_road_ = 0;  // road ran off the map
+        continue;
+      }
+      *out = MakeRecord(std::min(x_, nx), std::min(y_, ny),
+                        std::max(x_, nx), std::max(y_, ny),
+                        static_cast<DataId>(produced_++));
+      x_ = nx;
+      y_ = ny;
+      --remaining_in_road_;
+      return true;
+    }
+  }
+
+ private:
+  size_t n_;
+  bool eastern_;
+  Rng rng_;
+  std::vector<std::pair<double, double>> centers_;
+  double x_ = 0.5, y_ = 0.5, heading_ = 0.0;
+  double mean_segment_ = 2e-4;
+  size_t remaining_in_road_ = 0;
+  size_t produced_ = 0;
+};
+
 }  // namespace
 
+std::unique_ptr<RecordGenerator> NewSizeGenerator(size_t n, double max_side,
+                                                  uint64_t seed) {
+  return std::make_unique<SizeGenerator>(n, max_side, seed);
+}
+
+std::unique_ptr<RecordGenerator> NewAspectGenerator(size_t n, double aspect,
+                                                    uint64_t seed) {
+  return std::make_unique<AspectGenerator>(n, aspect, seed);
+}
+
+std::unique_ptr<RecordGenerator> NewSkewedGenerator(size_t n, int c,
+                                                    uint64_t seed) {
+  return std::make_unique<SkewedGenerator>(n, c, seed);
+}
+
+std::unique_ptr<RecordGenerator> NewClusterGenerator(size_t clusters,
+                                                     size_t per_cluster,
+                                                     uint64_t seed) {
+  return std::make_unique<ClusterGenerator>(clusters, per_cluster, seed);
+}
+
+std::unique_ptr<RecordGenerator> NewTigerLikeGenerator(size_t n,
+                                                       TigerRegion region,
+                                                       uint64_t seed) {
+  return std::make_unique<TigerLikeGenerator>(n, region, seed);
+}
+
 std::vector<Record2> MakeSize(size_t n, double max_side, uint64_t seed) {
-  PRTREE_CHECK(max_side > 0 && max_side <= 1.0);
-  Rng rng(seed);
-  std::vector<Record2> out;
-  out.reserve(n);
-  while (out.size() < n) {
-    double w = rng.Uniform(0, max_side);
-    double h = rng.Uniform(0, max_side);
-    double cx = rng.Uniform(0, 1);
-    double cy = rng.Uniform(0, 1);
-    double xmin = cx - w / 2, xmax = cx + w / 2;
-    double ymin = cy - h / 2, ymax = cy + h / 2;
-    // §3.2: "we discarded rectangles that were not completely inside the
-    // unit square (but made sure each dataset had [n] rectangles)".
-    if (xmin < 0 || ymin < 0 || xmax > 1 || ymax > 1) continue;
-    out.push_back(MakeRecord(xmin, ymin, xmax, ymax,
-                             static_cast<DataId>(out.size())));
-  }
-  return out;
+  SizeGenerator gen(n, max_side, seed);
+  return Drain(&gen, n);
 }
 
 std::vector<Record2> MakeAspect(size_t n, double aspect, uint64_t seed) {
-  PRTREE_CHECK(aspect >= 1.0);
-  constexpr double kArea = 1e-6;  // §3.2: fixed, reasonably small area
-  Rng rng(seed);
-  std::vector<Record2> out;
-  out.reserve(n);
-  // Long side l and short side s with l*s = kArea, l/s = aspect.
-  double l = std::sqrt(kArea * aspect);
-  double s = std::sqrt(kArea / aspect);
-  while (out.size() < n) {
-    double w = l, h = s;
-    if (rng.Chance(0.5)) std::swap(w, h);  // long side vertical or horizontal
-    double cx = rng.Uniform(0, 1);
-    double cy = rng.Uniform(0, 1);
-    double xmin = cx - w / 2, xmax = cx + w / 2;
-    double ymin = cy - h / 2, ymax = cy + h / 2;
-    if (xmin < 0 || ymin < 0 || xmax > 1 || ymax > 1) continue;
-    out.push_back(MakeRecord(xmin, ymin, xmax, ymax,
-                             static_cast<DataId>(out.size())));
-  }
-  return out;
+  AspectGenerator gen(n, aspect, seed);
+  return Drain(&gen, n);
 }
 
 std::vector<Record2> MakeSkewed(size_t n, int c, uint64_t seed) {
-  PRTREE_CHECK(c >= 1);
-  Rng rng(seed);
-  std::vector<Record2> out;
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    double x = rng.Uniform(0, 1);
-    double y = std::pow(rng.Uniform(0, 1), c);
-    out.push_back(MakeRecord(x, y, x, y, static_cast<DataId>(i)));
-  }
-  return out;
+  SkewedGenerator gen(n, c, seed);
+  return Drain(&gen, n);
 }
 
 std::vector<Record2> MakeCluster(size_t clusters, size_t per_cluster,
                                  uint64_t seed) {
-  PRTREE_CHECK(clusters >= 1);
-  constexpr double kClusterSide = 1e-5;  // §3.2
-  Rng rng(seed);
-  std::vector<Record2> out;
-  out.reserve(clusters * per_cluster);
-  for (size_t ci = 0; ci < clusters; ++ci) {
-    // Centres equally spaced on a horizontal line across the unit square.
-    double cx = (ci + 0.5) / clusters;
-    double cy = 0.5;
-    for (size_t p = 0; p < per_cluster; ++p) {
-      double x = cx + rng.Uniform(-kClusterSide / 2, kClusterSide / 2);
-      double y = cy + rng.Uniform(-kClusterSide / 2, kClusterSide / 2);
-      out.push_back(
-          MakeRecord(x, y, x, y, static_cast<DataId>(out.size())));
-    }
-  }
-  return out;
+  ClusterGenerator gen(clusters, per_cluster, seed);
+  return Drain(&gen, clusters * per_cluster);
 }
 
 uint64_t BitReverse(uint64_t i, int bits) {
@@ -128,67 +304,8 @@ std::vector<Record2> MakeWorstCaseGrid(size_t columns, size_t rows) {
 
 std::vector<Record2> MakeTigerLike(size_t n, TigerRegion region,
                                    uint64_t seed) {
-  // Region presets: the East coast has more, denser urban areas; the West
-  // fewer and sparser, spread over a wider extent.
-  const bool eastern = region == TigerRegion::kEastern;
-  const size_t num_centers = eastern ? 160 : 60;
-  const double urban_sigma = eastern ? 0.012 : 0.02;
-  const double urban_fraction = eastern ? 0.82 : 0.72;
-  // Urban blocks are short; rural segments are several times longer with a
-  // heavier tail (real TIGER chops long country roads into fewer, longer
-  // pieces) — the extent mix is what separates extent-aware loaders from
-  // centre-only ones on this data.
-  const double urban_segment = 2e-4;
-  const double rural_segment = 1.5e-3;
-
-  Rng rng(seed + (eastern ? 0x9E3779B97F4A7C15ull : 0xC2B2AE3D27D4EB4Full));
-  // Urban centres.
-  std::vector<std::pair<double, double>> centers;
-  centers.reserve(num_centers);
-  for (size_t i = 0; i < num_centers; ++i) {
-    centers.emplace_back(rng.Uniform(0.05, 0.95), rng.Uniform(0.05, 0.95));
-  }
-
-  std::vector<Record2> out;
-  out.reserve(n);
-  // Roads: random walks of short segments; each record is one segment's
-  // bounding box, so most rectangles are thin and tiny (like TIGER's road
-  // segments, where "long roads are divided into short segments").
-  double x = 0.5, y = 0.5, heading = 0.0;
-  double mean_segment = urban_segment;
-  size_t remaining_in_road = 0;
-  while (out.size() < n) {
-    if (remaining_in_road == 0) {
-      // Start a new road at an urban centre (or in the countryside).
-      if (rng.Chance(urban_fraction)) {
-        const auto& c = centers[rng.UniformInt(0, centers.size() - 1)];
-        x = c.first + rng.Gaussian(0, urban_sigma);
-        y = c.second + rng.Gaussian(0, urban_sigma);
-        mean_segment = urban_segment;
-      } else {
-        x = rng.Uniform(0, 1);
-        y = rng.Uniform(0, 1);
-        mean_segment = rural_segment;
-      }
-      heading = rng.Uniform(0, 2 * M_PI);
-      remaining_in_road = 3 + rng.UniformInt(0, 60);
-    }
-    double len = rng.Exponential(mean_segment);
-    heading += rng.Gaussian(0, 0.35);  // roads bend gently
-    double nx = x + len * std::cos(heading);
-    double ny = y + len * std::sin(heading);
-    if (nx < 0 || nx > 1 || ny < 0 || ny > 1) {
-      remaining_in_road = 0;  // road ran off the map
-      continue;
-    }
-    out.push_back(MakeRecord(std::min(x, nx), std::min(y, ny),
-                             std::max(x, nx), std::max(y, ny),
-                             static_cast<DataId>(out.size())));
-    x = nx;
-    y = ny;
-    --remaining_in_road;
-  }
-  return out;
+  TigerLikeGenerator gen(n, region, seed);
+  return Drain(&gen, n);
 }
 
 }  // namespace workload

@@ -28,12 +28,44 @@
 #define PRTREE_WORKLOAD_DATASETS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "geom/rect.h"
 
 namespace prtree {
 namespace workload {
+
+/// \brief Pull-based record stream for out-of-core dataset sizes.
+///
+/// Each Make* function below materializes its whole dataset in RAM; at the
+/// 10-100M records of the out-of-core sweep that is gigabytes.  A
+/// RecordGenerator produces the records one at a time in O(1) memory, and
+/// the Make* functions are implemented by draining the matching generator —
+/// so for every (family, n, seed) the generator's record sequence is
+/// byte-identical to the materialized vector by construction, and a prefix
+/// of the n'=2n stream equals the n stream (the generators are stateful
+/// walks seeded once).  Feed it to Stream<Record2>::Append block by block,
+/// or straight into ExternalSort's input staging.
+class RecordGenerator {
+ public:
+  virtual ~RecordGenerator() = default;
+  /// Fills `*out` with the next record; returns false once the configured
+  /// record count is exhausted (then keeps returning false).
+  virtual bool Next(Record2* out) = 0;
+};
+
+/// Streaming equivalents of the Make* functions below — same parameters,
+/// byte-identical output.
+std::unique_ptr<RecordGenerator> NewSizeGenerator(size_t n, double max_side,
+                                                  uint64_t seed);
+std::unique_ptr<RecordGenerator> NewAspectGenerator(size_t n, double aspect,
+                                                    uint64_t seed);
+std::unique_ptr<RecordGenerator> NewSkewedGenerator(size_t n, int c,
+                                                    uint64_t seed);
+std::unique_ptr<RecordGenerator> NewClusterGenerator(size_t clusters,
+                                                     size_t per_cluster,
+                                                     uint64_t seed);
 
 /// SIZE(max_side): uniformly distributed rectangles with sides uniform in
 /// (0, max_side], fully inside the unit square (§3.2).
@@ -69,6 +101,11 @@ enum class TigerRegion {
 /// datasets (Figure 10/14) are prefixes of the same stream.
 std::vector<Record2> MakeTigerLike(size_t n, TigerRegion region,
                                    uint64_t seed);
+
+/// Streaming equivalent of MakeTigerLike (see RecordGenerator).
+std::unique_ptr<RecordGenerator> NewTigerLikeGenerator(size_t n,
+                                                       TigerRegion region,
+                                                       uint64_t seed);
 
 /// Bit reversal of `i` in `bits` bits (exposed for tests of the §2.4 grid).
 uint64_t BitReverse(uint64_t i, int bits);

@@ -2,13 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
+#include "io/block_device.h"
+#include "io/external_sort.h"
+#include "io/stream.h"
+#include "io/work_env.h"
 #include "workload/queries.h"
 
 namespace prtree {
 namespace {
+
+std::vector<Record2> Drain(workload::RecordGenerator* gen) {
+  std::vector<Record2> out;
+  Record2 rec;
+  while (gen->Next(&rec)) out.push_back(rec);
+  return out;
+}
 
 TEST(SizeDatasetTest, InsideUnitSquareWithBoundedSides) {
   for (double max_side : {0.002, 0.05, 0.2}) {
@@ -191,6 +203,106 @@ TEST(StabQueryTest, SpansExtentHorizontally) {
     EXPECT_GT(q.lo[1], 0.2);
     EXPECT_LT(q.hi[1], 0.8);
   }
+}
+
+// The out-of-core sweep feeds 10-100M records through the generators
+// without materializing them; these tests pin the contract the sweep
+// depends on (datasets.h RecordGenerator doc comment).
+
+TEST(RecordGeneratorTest, ByteIdenticalToMaterializedPath) {
+  const size_t n = 100'000;
+  {
+    auto gen = workload::NewSizeGenerator(n, 0.001, 9);
+    EXPECT_TRUE(Drain(gen.get()) == workload::MakeSize(n, 0.001, 9));
+  }
+  {
+    auto gen = workload::NewAspectGenerator(n, 100.0, 9);
+    EXPECT_TRUE(Drain(gen.get()) == workload::MakeAspect(n, 100.0, 9));
+  }
+  {
+    auto gen = workload::NewSkewedGenerator(n, 3, 9);
+    EXPECT_TRUE(Drain(gen.get()) == workload::MakeSkewed(n, 3, 9));
+  }
+  {
+    auto gen = workload::NewClusterGenerator(200, n / 200, 9);
+    EXPECT_TRUE(Drain(gen.get()) == workload::MakeCluster(200, n / 200, 9));
+  }
+  {
+    auto gen =
+        workload::NewTigerLikeGenerator(n, workload::TigerRegion::kEastern, 9);
+    EXPECT_TRUE(Drain(gen.get()) ==
+                workload::MakeTigerLike(n, workload::TigerRegion::kEastern,
+                                        9));
+  }
+}
+
+TEST(RecordGeneratorTest, SameSeedSameStreamAndExhaustionIsSticky) {
+  auto a = workload::NewSizeGenerator(5000, 0.01, 7);
+  auto b = workload::NewSizeGenerator(5000, 0.01, 7);
+  auto c = workload::NewSizeGenerator(5000, 0.01, 8);
+  auto va = Drain(a.get());
+  EXPECT_TRUE(va == Drain(b.get()));
+  EXPECT_FALSE(va == Drain(c.get()));
+  Record2 rec;
+  EXPECT_FALSE(a->Next(&rec));  // stays exhausted
+  EXPECT_FALSE(a->Next(&rec));
+}
+
+TEST(RecordGeneratorTest, SmallerSizeIsAPrefixOfLarger) {
+  // Size-graded datasets (Figure 10/14, the scale sweep) must be prefixes
+  // of one stream: the n parameter only gates termination.
+  auto small = Drain(workload::NewSizeGenerator(3000, 0.001, 11).get());
+  auto large = Drain(workload::NewSizeGenerator(6000, 0.001, 11).get());
+  ASSERT_EQ(small.size(), 3000u);
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), large.begin()));
+
+  auto tiger_small = Drain(workload::NewTigerLikeGenerator(
+                               3000, workload::TigerRegion::kWestern, 11)
+                               .get());
+  auto tiger_large = Drain(workload::NewTigerLikeGenerator(
+                               6000, workload::TigerRegion::kWestern, 11)
+                               .get());
+  EXPECT_TRUE(std::equal(tiger_small.begin(), tiger_small.end(),
+                         tiger_large.begin()));
+}
+
+TEST(RecordGeneratorTest, StreamsThroughExternalSort) {
+  // The scale sweep's exact pipeline at miniature size: generator ->
+  // device-resident Stream -> ExternalSort, no in-RAM dataset.
+  const size_t n = 20'000;
+  MemoryBlockDevice dev(kDefaultBlockSize);
+  WorkEnv env{&dev, 64 * 1024};
+  Stream<Record2> input(&dev);
+  {
+    auto gen = workload::NewSizeGenerator(n, 0.001, 13);
+    Record2 rec;
+    while (gen->Next(&rec)) input.Push(rec);
+    input.Flush();
+  }
+  ASSERT_EQ(input.size(), n);
+  auto less = [](const Record2& a, const Record2& b) {
+    return a.rect.lo[0] < b.rect.lo[0];
+  };
+  Stream<Record2> sorted = ExternalSort(env, &input, less);
+  ASSERT_EQ(sorted.size(), n);
+
+  auto expected = workload::MakeSize(n, 0.001, 13);
+  std::sort(expected.begin(), expected.end(),
+            [&](const Record2& a, const Record2& b) {
+              if (a.rect.lo[0] != b.rect.lo[0]) return less(a, b);
+              return a.id < b.id;  // tie-break for a deterministic oracle
+            });
+  Stream<Record2>::Reader reader(&sorted);
+  size_t i = 0;
+  double prev = -1;
+  while (!reader.Done()) {
+    Record2 rec = reader.Next();
+    EXPECT_GE(rec.rect.lo[0], prev);
+    prev = rec.rect.lo[0];
+    EXPECT_EQ(rec.rect.lo[0], expected[i].rect.lo[0]);
+    ++i;
+  }
+  EXPECT_EQ(i, n);
 }
 
 }  // namespace
